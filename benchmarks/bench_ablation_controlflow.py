@@ -1,0 +1,56 @@
+"""Ablation — control-flow taint propagation (paper section 5.2).
+
+"We extended DataFlowSanitizer with instrumentation for explicit
+control-flow tainting since it is necessary to capture all dependencies in
+real-world applications."  The LULESH ``regElemSize`` example: the region
+sizes acquire their ``size`` dependence only through the number of loop
+iterations, invisible to pure data-flow tracking.
+
+We run the LULESH taint analysis under both policies and count the
+dependencies data-flow-only tracking loses.
+"""
+
+from conftest import report
+
+from repro.core.pipeline import PerfTaintPipeline
+from repro.core.report import format_table
+from repro.taint.policy import DATAFLOW_ONLY, FULL_POLICY
+
+
+def test_ablation_controlflow(benchmark, lulesh_workload):
+    def run():
+        full = PerfTaintPipeline(
+            workload=lulesh_workload, policy=FULL_POLICY
+        ).analyze_taint()
+        dataflow = PerfTaintPipeline(
+            workload=lulesh_workload, policy=DATAFLOW_ONLY
+        ).analyze_taint()
+        return full, dataflow
+
+    full, dataflow = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    missing_total = 0
+    for (key, rec) in sorted(full.loop_records.items()):
+        _, fn, lid = key
+        lost = rec.params - dataflow.loop_params(fn, lid)
+        if lost:
+            missing_total += 1
+            rows.append((fn, lid, ",".join(sorted(rec.params)),
+                         ",".join(sorted(lost))))
+    text = format_table(
+        ("function", "loop", "full policy", "lost without control flow"),
+        rows,
+    )
+    report("ablation_controlflow", text)
+
+    # The regElemSize pattern loses its size dependence (paper 5.2).
+    full_params = full.loop_params("CalcMonotonicQRegionForElems", 1)
+    df_params = dataflow.loop_params("CalcMonotonicQRegionForElems", 1)
+    assert "size" in full_params
+    assert "size" not in df_params
+    assert missing_total >= 1
+    # Direct data-flow dependencies are unaffected by the ablation.
+    assert dataflow.loop_params("IntegrateStressForElems", 0) == frozenset(
+        {"size"}
+    )

@@ -1,0 +1,76 @@
+"""Figure 3 — LULESH Score-P instrumentation overhead.
+
+Three panels in the paper: taint-based filter (within 5.5% of native),
+default Score-P filter (moderate), full program instrumentation (up to 45x
+on C++ accessor-heavy code).  We sweep ranks x size and print the overhead
+relative to the native (uninstrumented) run for each mode.
+"""
+
+from conftest import report
+
+from repro.core.report import format_table
+from repro.measure import (
+    default_filter_plan,
+    full_plan,
+    none_plan,
+    profile_run,
+    taint_filter_plan,
+)
+
+RANKS = (8, 27, 64)
+SIZES = (15, 20, 25, 30)
+
+
+def _sweep(workload, plans):
+    prog = workload.program()
+    rows = []
+    series = {}
+    for p in RANKS:
+        for size in SIZES:
+            setup = workload.setup({"p": p, "size": size})
+            times = {
+                name: profile_run(
+                    prog, setup.args, plan, runtime=setup.runtime
+                ).total_time()
+                for name, plan in plans.items()
+            }
+            native = times["native"]
+            row = (p, size) + tuple(
+                f"{(times[m] / native - 1) * 100:+.1f}%"
+                for m in ("taint", "default", "full")
+            )
+            rows.append(row)
+            for mode in ("taint", "default", "full"):
+                series.setdefault(mode, []).append(times[mode] / native)
+    return rows, series
+
+
+def test_fig3_lulesh_overhead(benchmark, lulesh_workload, lulesh_analysis):
+    static, taint, _, _, _ = lulesh_analysis
+    prog = lulesh_workload.program()
+    plans = {
+        "native": none_plan(),
+        "taint": taint_filter_plan(prog, taint, static),
+        "default": default_filter_plan(prog),
+        "full": full_plan(prog),
+    }
+
+    rows, series = benchmark.pedantic(
+        lambda: _sweep(lulesh_workload, plans), rounds=1, iterations=1
+    )
+    report(
+        "fig3_lulesh_overhead",
+        format_table(
+            ("ranks", "size", "taint-filter", "default-filter", "full"),
+            rows,
+        ),
+    )
+
+    # Paper shapes: taint filter within a few percent everywhere; full
+    # instrumentation an order of magnitude slower; default in between.
+    assert max(series["taint"]) < 1.055  # "differ by at most 5.5%"
+    assert min(series["full"]) > 8.0
+    assert all(
+        t <= d <= f
+        for t, d, f in zip(series["taint"], series["default"], series["full"])
+    )

@@ -1,0 +1,88 @@
+"""Figure 4 — MILC Score-P instrumentation overhead.
+
+Paper: "the geometric mean of overheads are 1.6% for selective
+instrumentation and 23% for full and default instrumentation.  The default
+instrumentation provides little to no benefit" — MILC's SU(3) helpers are
+medium-sized straight-line functions the size heuristic keeps.
+"""
+
+import math
+
+from conftest import report
+
+from repro.core.report import format_table
+from repro.measure import (
+    default_filter_plan,
+    full_plan,
+    none_plan,
+    profile_run,
+    taint_filter_plan,
+)
+
+RANKS = (4, 8, 16, 32, 64)
+SIZES = (32, 64, 128, 256, 512)
+
+
+def _geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def test_fig4_milc_overhead(benchmark, milc_workload, milc_analysis):
+    static, taint, _, _, _ = milc_analysis
+    prog = milc_workload.program()
+    plans = {
+        "native": none_plan(),
+        "taint": taint_filter_plan(prog, taint, static),
+        "default": default_filter_plan(prog),
+        "full": full_plan(prog),
+    }
+
+    def sweep():
+        rows = []
+        series = {m: [] for m in ("taint", "default", "full")}
+        large_taint = []
+        for p in RANKS:
+          for size in SIZES:
+            setup = milc_workload.setup({"p": p, "size": size})
+            times = {
+                name: profile_run(
+                    prog, setup.args, plan, runtime=setup.runtime
+                ).total_time()
+                for name, plan in plans.items()
+            }
+            native = times["native"]
+            rows.append(
+                (p, size)
+                + tuple(
+                    f"{(times[m] / native - 1) * 100:+.1f}%"
+                    for m in ("taint", "default", "full")
+                )
+            )
+            for mode in series:
+                series[mode].append(times[mode] / native)
+            if size == max(SIZES):
+                large_taint.append(times["taint"] / native)
+        return rows, series, large_taint
+
+    rows, series, large_taint = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+    gm = {m: _geomean(v) for m, v in series.items()}
+    rows.append(
+        ("geo", "mean")
+        + tuple(f"{(gm[m] - 1) * 100:+.1f}%" for m in ("taint", "default", "full"))
+    )
+    report(
+        "fig4_milc_overhead",
+        format_table(
+            ("ranks", "size", "taint-filter", "default-filter", "full"), rows
+        ),
+    )
+
+    # Paper shapes: taint filter cheap (geometric mean 1.6% in the paper),
+    # negligible on the largest problem sizes; default ~ full.
+    assert gm["taint"] - 1 < 0.10
+    assert all(v - 1 < 0.05 for v in large_taint)
+    assert gm["full"] - 1 > 1.0
+    # "default provides little to no benefit": within 15% of full.
+    assert gm["default"] > 0.85 * gm["full"]

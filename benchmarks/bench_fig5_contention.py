@@ -1,0 +1,81 @@
+"""Figure 5 + section C1 — detecting hardware contention.
+
+The paper fixes p=64 and size=30, sweeps MPI ranks per node r from 2 to 18,
+and observes: the application slows down ~50% (model 2.86*log2(r)^2 + 127s),
+and 31 of 73 functions with statistically sound measurements acquire
+increasing models although taint proves they cannot depend on r — the
+white-box contradiction that exposes memory contention.
+
+We regenerate the relative-increase series for the figure's functions and
+run the contention detector.
+"""
+
+import numpy as np
+from conftest import report
+
+from repro.apps.lulesh import LuleshWorkload
+from repro.core.pipeline import PerfTaintPipeline
+from repro.core.report import format_table
+from repro.measure import APP_KEY, InstrumentationMode
+from repro.mpisim.contention import LogQuadraticContention
+
+R_VALUES = (2, 4, 6, 8, 12, 16, 18)
+FIG5_FUNCTIONS = (
+    APP_KEY,
+    "CalcForceForNodes",
+    "IntegrateStressForElems",
+    "CalcHourglassControlForElems",
+)
+
+
+def test_fig5_contention(benchmark):
+    workload = LuleshWorkload(parameters=("r",))
+    pipe = PerfTaintPipeline(
+        workload=workload,
+        repetitions=5,
+        seed=13,
+        contention=LogQuadraticContention(beta=0.06),
+    )
+
+    def run():
+        static, taint, volumes, deps, _ = pipe.analyze()
+        plan = pipe.plan_for(InstrumentationMode.TAINT_FILTER, taint, static)
+        design = [{"r": r, "p": 64, "size": 20} for r in R_VALUES]
+        meas, _profiles = pipe.measure(design, plan)
+        models = pipe.model(meas, taint, volumes, compare_black_box=True)
+        findings = pipe.validate(meas, models, taint)
+        return meas, models, findings
+
+    meas, models, findings = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Relative time increase series (the figure's y axis).
+    rows = []
+    for fn in FIG5_FUNCTIONS:
+        base = np.mean(meas.repetitions(fn, (float(R_VALUES[0]),)))
+        series = [
+            np.mean(meas.repetitions(fn, (float(r),))) / base
+            for r in R_VALUES
+        ]
+        label = "main (whole app)" if fn == APP_KEY else fn
+        rows.append(
+            (label,)
+            + tuple(f"{v:.3f}" for v in series)
+            + ((models[fn].black_box or models[fn].hybrid).format(),)
+        )
+    header = ("function",) + tuple(f"r={r}" for r in R_VALUES) + ("model",)
+    lines = [format_table(header, rows), "", "Contention findings:"]
+    lines += [f"  ! {f}" for f in findings]
+    report("fig5_contention", "\n".join(lines))
+
+    flagged = {f.function for f in findings}
+    # Figure 5's kernels are flagged, with increasing log-family models.
+    assert "CalcHourglassControlForElems" in flagged
+    assert APP_KEY in flagged
+    assert len(findings) >= 5
+    # Whole-app slowdown is significant (paper: ~50%).
+    base = np.mean(meas.repetitions(APP_KEY, (2.0,)))
+    peak = np.mean(meas.repetitions(APP_KEY, (18.0,)))
+    assert peak / base > 1.2
+    # The fitted app model is in the log2(r) family.
+    app_model = (models[APP_KEY].black_box or models[APP_KEY].hybrid).format()
+    assert "log2(r)" in app_model or "r^" in app_model

@@ -1,0 +1,85 @@
+"""Section B2 — instrumentation intrusion changes models qualitatively.
+
+Paper: under full instrumentation "nearly all runtimes are almost two
+orders of magnitude bigger", and CalcQForElems' model changes shape —
+additive (3e-3*p^0.5 + 1e-5*size^3) under full instrumentation vs the
+validated multiplicative 2.4e-8 * p^0.25 * size^3 under the taint filter.
+The default Score-P filter does not instrument the function at all (false
+negative).
+
+We model CalcQForElems from measurements under both instrumentation modes
+and show the filtered model keeps the multiplicative (p, size) structure
+while the fully-instrumented one is distorted by per-call overhead.
+"""
+
+from conftest import report
+
+from repro.core.pipeline import PerfTaintPipeline
+from repro.core.report import format_table
+from repro.measure import default_filter_plan, full_plan, taint_filter_plan
+
+DESIGN = {"p": [27, 64, 125, 216, 343], "size": [8, 11, 14, 17, 20]}
+FN = "CalcQForElems"
+
+
+def test_qualB2_intrusion(benchmark, lulesh_workload):
+    pipe = PerfTaintPipeline(workload=lulesh_workload, repetitions=5, seed=4)
+    prog = lulesh_workload.program()
+
+    def run():
+        static, taint, volumes, deps, _ = pipe.analyze()
+        design = pipe.design(DESIGN, taint, deps, volumes)
+        filt_plan = taint_filter_plan(prog, taint, static)
+        meas_full, prof_full = pipe.measure(design.configurations, full_plan(prog))
+        meas_filt, prof_filt = pipe.measure(design.configurations, filt_plan)
+        models_full = pipe.model(meas_full, taint, volumes)
+        models_filt = pipe.model(meas_filt, taint, volumes)
+        return taint, meas_full, meas_filt, models_full, models_filt, prof_full, prof_filt
+
+    (taint, meas_full, meas_filt, models_full, models_filt,
+     prof_full, prof_filt) = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    full_model = models_full[FN].hybrid
+    filt_model = models_filt[FN].hybrid
+
+    key = next(iter(prof_full))
+    app_ratio = prof_full[key].total_time() / prof_filt[key].total_time()
+
+    rows = [
+        ("taint-filtered", filt_model.format(),
+         "paper: 2.4e-8 * p^0.25 * size^3"),
+        ("fully instrumented", full_model.format(),
+         "paper: 3e-3 * p^0.5 + 1e-5 * size^3"),
+    ]
+    lines = [
+        format_table(("mode", f"model of {FN}", "paper analogue"), rows),
+        "",
+        f"whole-app time ratio full/filtered at {key}: {app_ratio:.1f}x",
+        f"default filter instruments {FN}: "
+        f"{default_filter_plan(prog).is_instrumented(FN)} (paper: False)",
+    ]
+    report("qualB2_intrusion", "\n".join(lines))
+
+    # The filtered model keeps a multiplicative (p, size) product term.
+    assert any(len(t.uses()) == 2 for t in filt_model.terms), filt_model
+    # Full instrumentation inflates the application substantially.
+    assert app_ratio > 5
+    # ...and distorts the measured times of the kernel itself: measured
+    # magnitudes differ by a large factor at the same configuration.
+    cfg = next(iter(meas_full.data[FN]))
+    import numpy as np
+
+    t_full = np.mean(meas_full.repetitions(FN, cfg))
+    t_filt = np.mean(meas_filt.repetitions(FN, cfg))
+    assert t_full > 2 * t_filt
+    # The two models disagree qualitatively: their prediction ratio drifts
+    # across the domain instead of being a constant offset.
+    r_small = full_model.predict_one(
+        {"p": 27, "size": 8}
+    ) / filt_model.predict_one({"p": 27, "size": 8})
+    r_large = full_model.predict_one(
+        {"p": 343, "size": 20}
+    ) / filt_model.predict_one({"p": 343, "size": 20})
+    assert abs(r_large - r_small) / max(r_small, r_large) > 0.15
+    # Default filter misses the kernel entirely (false negative).
+    assert not default_filter_plan(prog).is_instrumented(FN)

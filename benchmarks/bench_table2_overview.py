@@ -1,0 +1,72 @@
+"""Table 2 — two-phase function/loop pruning overview.
+
+Paper values for reference (LULESH / MILC): functions 356 / 629, pruned
+statically 296 / 364, pruned dynamically 11 / 188, kernels 40 / 56, comm
+routines 2 / 13, MPI functions 7 / 8; constant fractions 86.2% / 87.7%.
+The reproduction asserts the *shape*: same pruning structure, constant
+fraction in the 82–95% band, MPI counts within a couple of routines.
+"""
+
+from conftest import report
+
+from repro.core.pipeline import PerfTaintPipeline
+from repro.core.report import format_table
+
+
+def _classify(workload):
+    pipe = PerfTaintPipeline(workload=workload)
+    static, taint, volumes, deps, classification = pipe.analyze()
+    return classification
+
+
+def test_table2_overview(benchmark, lulesh_workload, milc_workload):
+    rows_by_app = benchmark.pedantic(
+        lambda: {
+            "LULESH": _classify(lulesh_workload),
+            "MILC": _classify(milc_workload),
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    paper = {
+        "LULESH": dict(
+            functions=356, pruned_statically=296, pruned_dynamically=11,
+            kernels=40, comm_routines=2, mpi_functions=7, loops=275,
+            loops_pruned_statically=52, loops_relevant=78,
+        ),
+        "MILC": dict(
+            functions=629, pruned_statically=364, pruned_dynamically=188,
+            kernels=56, comm_routines=13, mpi_functions=8, loops=874,
+            loops_pruned_statically=96, loops_relevant=196,
+        ),
+    }
+
+    table_rows = []
+    for app, cls in rows_by_app.items():
+        row = cls.table2_row()
+        for metric, measured in row.items():
+            table_rows.append(
+                (app, metric, paper[app].get(metric, "-"), measured)
+            )
+        table_rows.append(
+            (
+                app,
+                "constant_fraction",
+                "86.2%" if app == "LULESH" else "87.7%",
+                f"{cls.constant_fraction * 100:.1f}%",
+            )
+        )
+    report(
+        "table2_overview",
+        format_table(("app", "metric", "paper", "measured"), table_rows),
+    )
+
+    lulesh, milc = rows_by_app["LULESH"], rows_by_app["MILC"]
+    # Headline shape assertions.
+    assert 0.82 <= lulesh.constant_fraction <= 0.95
+    assert 0.84 <= milc.constant_fraction <= 0.95
+    assert lulesh.table2_row()["pruned_statically"] > 0.75 * lulesh.total_functions
+    assert milc.table2_row()["pruned_dynamically"] >= 150
+    assert 5 <= lulesh.table2_row()["mpi_functions"] <= 12
+    assert milc.table2_row()["mpi_functions"] == 8

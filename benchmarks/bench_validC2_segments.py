@@ -1,0 +1,63 @@
+"""Section C2 — validating the experiment design.
+
+Paper: MILC's internal gather behaves qualitatively differently "between
+execution on 4, 8, 16 and larger numbers of ranks", so one PMNF fit over
+the whole domain models neither regime.  The extended taint analysis
+reports branch directions of parameter-dependent branches, "empowering the
+user to appropriately design his experiments to ensure there is only one
+behavior present in the data".
+
+We run branch-direction taint probes across the modeling sweep, show the
+gather switch and the resulting advice, and confirm splitting the domain
+removes the flag.
+"""
+
+from conftest import report
+
+from repro.core.validation import detect_segmented_behavior
+from repro.libdb import MPI_DATABASE
+
+SWEEP = [{"p": p, "size": 16} for p in (4, 8, 16, 32, 64)]
+LOW = [{"p": p, "size": 16} for p in (4,)]
+HIGH = [{"p": p, "size": 16} for p in (8, 16, 32, 64)]
+
+
+def test_validC2_segmented_behavior(benchmark, milc_workload):
+    program = milc_workload.program()
+
+    def run():
+        whole = detect_segmented_behavior(
+            program, SWEEP, milc_workload.setup, milc_workload.sources(),
+            library_taint=MPI_DATABASE,
+        )
+        low = detect_segmented_behavior(
+            program, LOW, milc_workload.setup, milc_workload.sources(),
+            library_taint=MPI_DATABASE,
+        )
+        high = detect_segmented_behavior(
+            program, HIGH, milc_workload.setup, milc_workload.sources(),
+            library_taint=MPI_DATABASE,
+        )
+        return whole, low, high
+
+    whole, low, high = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Full sweep p in {4..64}:"]
+    for f in whole:
+        lines.append(
+            f"  ! {f.function} branch {f.branch_id} on "
+            f"{sorted(f.params)}: {f.boundary()}"
+        )
+    lines.append(f"Split domains: low={len(low)} high={len(high)} findings")
+    report("validC2_segments", "\n".join(lines))
+
+    gather = [f for f in whole if f.function == "do_gather"]
+    assert len(gather) == 1
+    assert gather[0].params == frozenset({"p"})
+    # The boundary sits between p=4 and p=8 (the algorithm switch).
+    directions = dict(gather[0].directions)
+    assert directions[(("p", 4.0), ("size", 16.0))] == frozenset({True})
+    assert directions[(("p", 8.0), ("size", 16.0))] == frozenset({False})
+    # Splitting the experiment removes the qualitative change.
+    assert all(f.function != "do_gather" for f in low)
+    assert all(f.function != "do_gather" for f in high)

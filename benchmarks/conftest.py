@@ -1,0 +1,47 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+corresponding rows/series (run with ``pytest benchmarks/ --benchmark-only
+-s`` to see them; results are also written to ``benchmarks/out/``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.apps.lulesh import LuleshWorkload
+from repro.apps.milc import MilcWorkload
+from repro.core.pipeline import PerfTaintPipeline
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def report(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/out/."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def lulesh_workload():
+    return LuleshWorkload()
+
+
+@pytest.fixture(scope="session")
+def milc_workload():
+    return MilcWorkload()
+
+
+@pytest.fixture(scope="session")
+def lulesh_analysis(lulesh_workload):
+    """(static, taint, volumes, deps, classification) for LULESH."""
+    return PerfTaintPipeline(workload=lulesh_workload).analyze()
+
+
+@pytest.fixture(scope="session")
+def milc_analysis(milc_workload):
+    return PerfTaintPipeline(workload=milc_workload).analyze()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Detecting hardware contention with white-box knowledge (paper C1/Fig 5).
+
+Holds p=64 and size=20 constant and sweeps the number of MPI ranks per
+node.  The taint analysis proves the computational kernels cannot depend
+on co-location, yet memory-bound kernels slow down measurably — the
+contradiction the Perf-Taint validity check surfaces as "systemic
+interference", something a black-box modeler can only misattribute.
+
+Run:  python examples/contention_study.py
+"""
+
+import numpy as np
+
+from repro import InstrumentationMode, LuleshWorkload, PerfTaintPipeline
+from repro.measure import APP_KEY
+from repro.mpisim.contention import LogQuadraticContention
+
+R_VALUES = (2, 4, 6, 8, 12, 16, 18)
+
+
+def main() -> None:
+    workload = LuleshWorkload(parameters=("r",))
+    pipeline = PerfTaintPipeline(
+        workload=workload,
+        repetitions=5,
+        seed=99,
+        contention=LogQuadraticContention(beta=0.06),
+    )
+
+    static, taint, volumes, deps, _ = pipeline.analyze()
+    plan = pipeline.plan_for(InstrumentationMode.TAINT_FILTER, taint, static)
+    design = [{"r": r, "p": 64, "size": 20} for r in R_VALUES]
+
+    print(f"Sweeping ranks/node r in {R_VALUES} at fixed p=64, size=20 ...")
+    measurements, _profiles = pipeline.measure(design, plan)
+    models = pipeline.model(
+        measurements, taint, volumes, compare_black_box=True
+    )
+    findings = pipeline.validate(measurements, models, taint)
+
+    base = np.mean(measurements.repetitions(APP_KEY, (float(R_VALUES[0]),)))
+    print()
+    print("Relative application slowdown (paper: ~50% at r=18):")
+    for r in R_VALUES:
+        t = np.mean(measurements.repetitions(APP_KEY, (float(r),)))
+        bar = "#" * int((t / base - 1) * 80)
+        print(f"  r={r:>2}: {t / base:5.3f}x {bar}")
+
+    app_model = models[APP_KEY].black_box or models[APP_KEY].hybrid
+    print()
+    print(f"Fitted application model: {app_model.format()}")
+    print("  (paper: 2.86 * log2(r)^2 + 127 seconds)")
+
+    print()
+    print(f"Contention findings ({len(findings)} functions):")
+    for finding in findings:
+        print(f"  ! {finding}")
+
+    print()
+    print(
+        "Interpretation: these kernels are taint-proven independent of "
+        "rank placement, so the increasing models expose memory-bandwidth "
+        "contention from co-located ranks — run modeling experiments at "
+        "a fixed, low node saturation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Two-parameter performance modeling of the LULESH mini-app.
+
+Reproduces the paper's main LULESH workflow (sections 6, A, B):
+
+1. static analysis + a cheap taint run (size=5 on 8 ranks);
+2. Table 2/3-style classification and parameter coverage;
+3. a taint-filtered 5x5 (p, size) experiment with 5 repetitions;
+4. hybrid vs black-box models for the key kernels, including the
+   corrected false dependencies.
+
+Run:  python examples/lulesh_modeling.py
+"""
+
+from repro import InstrumentationMode, LuleshWorkload, PerfTaintPipeline
+from repro.core import render_table2, render_table3, table3_counts
+from repro.core.hybrid import HybridModeler
+from repro.measure import APP_KEY
+
+PARAM_VALUES = {
+    "p": [27, 64, 125, 216, 343],
+    "size": [8, 11, 14, 17, 20],
+}
+
+SPOTLIGHT = (
+    "IntegrateStressForElems",
+    "CalcHourglassControlForElems",
+    "CalcQForElems",
+    "CalcPressureForElems",
+    APP_KEY,
+)
+
+
+def main() -> None:
+    workload = LuleshWorkload()
+    pipeline = PerfTaintPipeline(workload=workload, repetitions=5, seed=42)
+
+    print("== Analysis phase (static + taint on size=5, p=8) ==")
+    result = pipeline.run(
+        PARAM_VALUES,
+        mode=InstrumentationMode.TAINT_FILTER,
+        compare_black_box=True,
+    )
+
+    print(render_table2("LULESH", result.classification))
+    print()
+    counts = table3_counts(
+        workload.program(),
+        result.taint,
+        ["p", "size", "regions", "balance", "cost", "iters"],
+    )
+    print(render_table3("LULESH", counts))
+
+    print()
+    print(
+        f"Instrumented {len(result.plan)} of "
+        f"{workload.program().function_count()} functions "
+        f"({result.plan.mode.value} filter)."
+    )
+    print(f"Design: {result.design.strategy}, {result.design.size} configs.")
+
+    print()
+    print("== Models (hybrid | black-box) ==")
+    for name in SPOTLIGHT:
+        cmp = result.models.get(name)
+        if cmp is None:
+            continue
+        label = "whole application" if name == APP_KEY else name
+        print(f"  {label}:")
+        print(f"    hybrid:    {cmp.hybrid.format()}")
+        if cmp.black_box is not None:
+            print(f"    black-box: {cmp.black_box.format()}")
+
+    false_deps = HybridModeler.false_dependency_report(result.models)
+    print()
+    print(
+        f"Black-box models with taint-refuted dependencies: "
+        f"{len(false_deps)} (all corrected by the hybrid prior)"
+    )
+    for fn, params in sorted(false_deps.items())[:8]:
+        print(f"  - {fn}: {sorted(params)}")
+
+    extrapolation = {"p": 1000, "size": 45}
+    app = result.models[APP_KEY].hybrid
+    print()
+    print(
+        f"Extrapolated application time at p=1000, size=45: "
+        f"{app.predict_one(extrapolation):.3e} cost units"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro — a reproduction of Perf-Taint (PPoPP'21).
+
+"Extracting Clean Performance Models from Tainted Programs" (Copik,
+Calotoiu, Grosser, Wicki, Wolf, Hoefler): dynamic taint analysis as a
+white-box prior for empirical performance modeling.
+
+Quickstart::
+
+    from repro import LuleshWorkload, PerfTaintPipeline
+
+    pipeline = PerfTaintPipeline(workload=LuleshWorkload())
+    result = pipeline.run({"p": [27, 64, 125], "size": [10, 20, 30]})
+    for name, cmp in result.models.items():
+        print(name, cmp.hybrid.format())
+
+Subpackages: :mod:`repro.ir` (program IR), :mod:`repro.interp` (metered
+interpreter), :mod:`repro.taint` (taint engine), :mod:`repro.staticanalysis`
+(compile-time phase), :mod:`repro.volume` (iteration-volume calculus),
+:mod:`repro.mpisim` (MPI substrate), :mod:`repro.libdb` (library database),
+:mod:`repro.measure` (profiling and experiments), :mod:`repro.modeling`
+(Extra-P re-implementation), :mod:`repro.core` (the pipeline),
+:mod:`repro.apps` (LULESH/MILC mini-apps).
+"""
+
+from .apps import LuleshWorkload, MilcWorkload, SyntheticWorkload
+from .core import (
+    HybridModeler,
+    PerfTaintPipeline,
+    PerfTaintResult,
+    detect_contention,
+    detect_segmented_behavior,
+    render_summary,
+)
+from .errors import ReproError
+from .measure import InstrumentationMode
+from .modeling import Model, Modeler, SearchPrior
+from .taint import TaintInterpreter, TaintReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HybridModeler",
+    "InstrumentationMode",
+    "LuleshWorkload",
+    "MilcWorkload",
+    "Model",
+    "Modeler",
+    "PerfTaintPipeline",
+    "PerfTaintResult",
+    "ReproError",
+    "SearchPrior",
+    "SyntheticWorkload",
+    "TaintInterpreter",
+    "TaintReport",
+    "detect_contention",
+    "detect_segmented_behavior",
+    "render_summary",
+    "__version__",
+]

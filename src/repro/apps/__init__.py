@@ -1,0 +1,27 @@
+"""Workloads: LULESH and MILC mini-apps plus synthetic examples."""
+
+from .lulesh import LuleshWorkload, build_lulesh
+from .milc import MilcWorkload, build_milc
+from .synthetic import (
+    SyntheticWorkload,
+    build_additive_example,
+    build_algorithm_selection_example,
+    build_contention_example,
+    build_control_flow_example,
+    build_foo_example,
+    build_multiplicative_example,
+)
+
+__all__ = [
+    "LuleshWorkload",
+    "MilcWorkload",
+    "SyntheticWorkload",
+    "build_additive_example",
+    "build_algorithm_selection_example",
+    "build_contention_example",
+    "build_control_flow_example",
+    "build_foo_example",
+    "build_lulesh",
+    "build_milc",
+    "build_multiplicative_example",
+]

@@ -1,0 +1,102 @@
+"""Shared machinery for building workload mini-apps.
+
+The paper's benchmarks owe their function counts to hordes of tiny
+constant-cost functions (C++ accessors on LULESH's ``Domain`` class, SU(3)
+algebra helpers in MILC).  These are generated programmatically, exactly
+like a class definition generates getters — the generated functions are
+*real* IR functions the analyses must chew through, not bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir.builder import FunctionBuilder, ProgramBuilder, call, mul
+
+
+def add_accessor(pb: ProgramBuilder, name: str, cost: float = 1.0) -> None:
+    """A leaf constant-cost accessor (getter/setter style).
+
+    No loops, no calls: pruned statically, eligible for the interpreter's
+    aggregated-call fast path.
+    """
+    with pb.function(name, ["i"], kind="accessor") as f:
+        f.assign("v", mul(f.var("i"), 2.0))
+        f.work(cost)
+        f.ret(f.var("v"))
+
+
+def add_medium_accessor(
+    pb: ProgramBuilder, name: str, cost: float = 2.0, statements: int = 8
+) -> None:
+    """A leaf constant-cost helper with a *medium-sized* body.
+
+    Still loop/call-free (leaf-eligible, statically pruned), but large
+    enough that Score-P's size-based default filter keeps it instrumented
+    — the overhead-without-benefit case that makes the default filter as
+    expensive as full instrumentation on MILC (paper Figure 4).  Real
+    examples: SU(3) matrix multiplies (~30 lines of straight-line code).
+    """
+    with pb.function(name, ["i"], kind="accessor") as f:
+        for k in range(max(1, statements - 2)):
+            f.assign(f"t{k}", mul(f.var("i"), float(k + 1)))
+        f.work(cost)
+        f.ret(f.var("t0"))
+
+
+def add_static_helper(
+    pb: ProgramBuilder, name: str, trip: int = 8, cost: float = 2.0
+) -> None:
+    """A helper with a constant-trip-count loop: pruned statically."""
+    with pb.function(name, [], kind="helper") as f:
+        with f.for_("i", 0, trip):
+            f.work(cost)
+
+
+def add_dynamic_helper(
+    pb: ProgramBuilder, name: str, cost: float = 2.0
+) -> None:
+    """A helper whose loop bound is a runtime argument.
+
+    Static analysis cannot resolve the trip count (the bound is a
+    variable), so the function survives to the dynamic phase; the taint
+    run then proves the bound carries no parameter label and prunes it
+    *dynamically* (the "Pruned Dynamically" row of Table 2).
+    """
+    with pb.function(name, ["n"], kind="helper") as f:
+        with f.for_("i", 0, f.var("n")):
+            f.work(cost)
+
+
+def add_wide_constant_helper(
+    pb: ProgramBuilder, name: str, statements: int = 10
+) -> None:
+    """A constant function with a *large* body.
+
+    Score-P's default size-based filter keeps such functions instrumented
+    (they look important) although they are performance-irrelevant — the
+    overhead-without-benefit case of section A3.
+    """
+    with pb.function(name, ["i"], kind="helper") as f:
+        for k in range(max(1, statements - 1)):
+            f.assign(f"t{k}", mul(f.var("i"), float(k + 1)))
+        f.ret(f.var(f"t{max(0, statements - 2)}"))
+
+
+def add_rank_query_wrapper(pb: ProgramBuilder, name: str) -> None:
+    """A wrapper around ``MPI_Comm_rank`` (constant-time query).
+
+    The paper's B1 result: four such functions were incorrectly given
+    parametric models by black-box modeling; taint proves them constant.
+    """
+    with pb.function(name, [], kind="helper") as f:
+        f.assign("r", call("MPI_Comm_rank"))
+        f.ret(f.var("r"))
+
+
+def call_each(
+    f: FunctionBuilder, names: Sequence[str], arg: float = 1.0
+) -> None:
+    """Emit a call to every function in *names* with a constant argument."""
+    for name in names:
+        f.call(name, arg)

@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands mirror the pipeline stages on the bundled workloads:
+
+* ``analyze <app>`` — static + taint analysis, Table 2/3 style report;
+* ``model <app> --values p=27,64 size=10,20`` — full pipeline with models;
+* ``contention <app> --r 2,4,8,16`` — ranks-per-node study (C1);
+* ``segments <app> --p 4,8,32`` — branch-direction validation (C2).
+
+``<app>`` is ``lulesh`` or ``milc``.  Everything prints plain text; the
+same functionality is available programmatically via
+:class:`repro.core.PerfTaintPipeline`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .apps.lulesh import LuleshWorkload
+from .apps.milc import MilcWorkload
+from .core.classify import table3_counts
+from .core.pipeline import PerfTaintPipeline
+from .core.report import render_summary, render_table2, render_table3
+from .core.validation import detect_segmented_behavior
+from .libdb import MPI_DATABASE
+from .measure.instrumentation import InstrumentationMode
+from .measure.profiler import APP_KEY
+from .mpisim.contention import LogQuadraticContention
+
+WORKLOADS = {"lulesh": LuleshWorkload, "milc": MilcWorkload}
+
+LULESH_PARAMS = ["p", "size", "regions", "balance", "cost", "iters"]
+MILC_PARAMS = [
+    "p", "nx", "ny", "nz", "nt",
+    "steps", "niter", "warms", "trajecs", "nrestart", "mass", "beta",
+]
+
+
+def _workload(name: str, parameters: tuple[str, ...] | None = None):
+    try:
+        cls = WORKLOADS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown app '{name}' (choose from {sorted(WORKLOADS)})"
+        )
+    return cls(parameters=parameters) if parameters else cls()
+
+
+def _parse_values(pairs: Sequence[str]) -> dict[str, list[float]]:
+    out: dict[str, list[float]] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"expected name=v1,v2,... got '{pair}'")
+        name, values = pair.split("=", 1)
+        out[name] = [float(v) for v in values.split(",") if v]
+        if not out[name]:
+            raise SystemExit(f"no values for parameter '{name}'")
+    return out
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    workload = _workload(args.app)
+    pipeline = PerfTaintPipeline(workload=workload)
+    static, taint, volumes, deps, classification = pipeline.analyze()
+    print(render_table2(args.app.upper(), classification))
+    params = LULESH_PARAMS if args.app == "lulesh" else MILC_PARAMS
+    print()
+    print(
+        render_table3(
+            args.app.upper(),
+            table3_counts(workload.program(), taint, params),
+        )
+    )
+    if taint.warnings:
+        print("\nWarnings:")
+        for w in taint.warnings:
+            print(f"  * {w}")
+    return 0
+
+
+def cmd_model(args: argparse.Namespace) -> int:
+    values = _parse_values(args.values)
+    workload = _workload(args.app, tuple(values))
+    pipeline = PerfTaintPipeline(
+        workload=workload, repetitions=args.repetitions, seed=args.seed
+    )
+    result = pipeline.run(
+        values,
+        mode=InstrumentationMode(args.mode),
+        compare_black_box=args.compare,
+    )
+    print(render_summary(args.app.upper(), result))
+    return 0
+
+
+def cmd_contention(args: argparse.Namespace) -> int:
+    workload = _workload(args.app, ("r",))
+    pipeline = PerfTaintPipeline(
+        workload=workload,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        contention=LogQuadraticContention(beta=args.beta),
+    )
+    static, taint, volumes, deps, _ = pipeline.analyze()
+    plan = pipeline.plan_for(InstrumentationMode.TAINT_FILTER, taint, static)
+    design = [
+        {"r": r, "p": args.p, "size": args.size}
+        for r in [float(v) for v in args.r.split(",")]
+    ]
+    meas, _ = pipeline.measure(design, plan)
+    models = pipeline.model(meas, taint, volumes, compare_black_box=True)
+    findings = pipeline.validate(meas, models, taint)
+    app_model = models[APP_KEY].black_box or models[APP_KEY].hybrid
+    print(f"application model over r: {app_model.format()}")
+    print(f"contention findings: {len(findings)}")
+    for f in findings:
+        print(f"  ! {f}")
+    return 0
+
+
+def cmd_segments(args: argparse.Namespace) -> int:
+    workload = _workload(args.app)
+    configs = [
+        {"p": float(p), "size": args.size}
+        for p in args.p.split(",")
+    ]
+    findings = detect_segmented_behavior(
+        workload.program(),
+        configs,
+        workload.setup,
+        workload.sources(),
+        library_taint=MPI_DATABASE,
+    )
+    if not findings:
+        print("no qualitative behavior changes detected")
+    for f in findings:
+        print(
+            f"! {f.function} branch {f.branch_id} "
+            f"(depends on {sorted(f.params)}): {f.boundary()}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Perf-Taint reproduction: tainted performance modeling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="static + taint analysis report")
+    p.add_argument("app", choices=sorted(WORKLOADS))
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("model", help="run the full modeling pipeline")
+    p.add_argument("app", choices=sorted(WORKLOADS))
+    p.add_argument(
+        "--values",
+        nargs="+",
+        required=True,
+        metavar="NAME=V1,V2",
+        help="parameter value lists, e.g. p=27,64,125 size=10,15,20",
+    )
+    p.add_argument(
+        "--mode",
+        default="taint",
+        choices=[m.value for m in InstrumentationMode],
+    )
+    p.add_argument("--repetitions", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--compare", action="store_true", help="also fit black-box models"
+    )
+    p.set_defaults(func=cmd_model)
+
+    p = sub.add_parser("contention", help="ranks-per-node study (C1)")
+    p.add_argument("app", choices=sorted(WORKLOADS))
+    p.add_argument("--r", default="2,4,8,12,16", help="ranks/node values")
+    p.add_argument("--p", type=float, default=64)
+    p.add_argument("--size", type=float, default=16)
+    p.add_argument("--beta", type=float, default=0.06)
+    p.add_argument("--repetitions", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_contention)
+
+    p = sub.add_parser("segments", help="branch-direction validation (C2)")
+    p.add_argument("app", choices=sorted(WORKLOADS))
+    p.add_argument("--p", default="4,8,16,32,64", help="rank counts to probe")
+    p.add_argument("--size", type=float, default=16)
+    p.set_defaults(func=cmd_segments)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

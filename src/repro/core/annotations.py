@@ -1,0 +1,45 @@
+"""Parameter annotations.
+
+"The only user action is the annotation of each input parameter with one
+line of code in the program source" (paper section 5):
+
+    register_variable(&opts.nx, "size");
+
+Here the analogue attaches a mapping from entry-function arguments to label
+names onto the program's metadata, where the pipeline picks it up.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..errors import IRError
+from ..ir.program import Program
+
+METADATA_KEY = "perf_taint.parameters"
+
+
+def register_parameters(
+    program: Program, mapping: Mapping[str, str]
+) -> Program:
+    """Mark entry arguments as performance parameters.
+
+    *mapping* maps entry-argument names to label names (often identical).
+    Returns the program for chaining.
+    """
+    entry = program.function(program.entry)
+    for arg in mapping:
+        if arg not in entry.params:
+            raise IRError(
+                f"cannot register '{arg}': not an argument of entry "
+                f"function '{program.entry}'"
+            )
+    existing = dict(program.metadata.get(METADATA_KEY, {}))
+    existing.update(mapping)
+    program.metadata[METADATA_KEY] = existing
+    return program
+
+
+def registered_parameters(program: Program) -> dict[str, str]:
+    """The argument -> label mapping registered on *program* (may be {})."""
+    return dict(program.metadata.get(METADATA_KEY, {}))

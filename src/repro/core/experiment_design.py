@@ -1,0 +1,182 @@
+"""Taint-informed experiment design (paper sections A1/A2).
+
+Three reductions over the naive all-combinations design:
+
+* **parameter pruning** (A1): parameters affecting no loop and no library
+  call are dropped entirely;
+* **dimension collapsing** (A2, the LULESH ``iters`` corner case): a
+  parameter that appears only as a single multiplicative factor on the
+  whole program scales every model linearly; it "does not grant useful
+  insights" and can be fixed to one value;
+* **additive designs** (A2): when all cross-parameter dependencies are
+  additive, one-at-a-time sweeps replace the full factorial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..measure.experiment import full_factorial, one_at_a_time
+from ..taint.report import TaintReport
+from ..volume.depclass import ProgramDependencies
+from ..volume.symbolic import Volume
+
+
+@dataclass
+class DesignDecision:
+    """The reduced design plus an explanation of every reduction."""
+
+    configurations: list[dict[str, float]]
+    kept_parameters: tuple[str, ...]
+    pruned_parameters: tuple[str, ...] = ()
+    collapsed_parameters: tuple[str, ...] = ()
+    strategy: str = "full-factorial"
+    naive_size: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.configurations)
+
+    @property
+    def savings_fraction(self) -> float:
+        """Fraction of naive experiments avoided."""
+        if self.naive_size == 0:
+            return 0.0
+        return 1.0 - self.size / self.naive_size
+
+
+def prune_parameters(
+    parameters: Sequence[str], taint: TaintReport
+) -> tuple[list[str], list[str]]:
+    """Split *parameters* into (affecting, non-affecting) by taint facts."""
+    kept: list[str] = []
+    pruned: list[str] = []
+    for param in parameters:
+        if taint.functions_affected_by(param):
+            kept.append(param)
+        else:
+            pruned.append(param)
+    return kept, pruned
+
+
+def linear_global_factors(
+    program_volume: Volume,
+    parameters: Sequence[str],
+    taint: TaintReport | None = None,
+) -> list[str]:
+    """Parameters matching the LULESH ``iters`` pattern (paper A2).
+
+    "The taint-based modeling detects a single instance of the parameter
+    iters in the main loop of the program.  Through that we recover a
+    multiplicative dependency with all other model parameters."  The
+    criterion: the parameter
+
+    * affects exactly one loop in the whole program (a single sink —
+      checked against the taint report when available), and
+    * co-occurs multiplicatively with *every other* modeled parameter that
+      appears in the program volume (the single loop encloses their
+      effects).
+
+    Such a parameter scales every model linearly and "does not grant
+    useful insights": it can be fixed to one value during modeling.
+    """
+    out: list[str] = []
+    groups = program_volume.param_groups()
+    if not groups:
+        return out
+    present = program_volume.params
+    for param in parameters:
+        if param not in present:
+            continue
+        if taint is not None and len(taint.loops_affected_by(param)) != 1:
+            continue
+        others = [
+            o for o in parameters if o != param and o in present
+        ]
+        if not others:
+            continue
+        if all(
+            any(param in g and o in g for g in groups) for o in others
+        ):
+            out.append(param)
+    return out
+
+
+def design_experiments(
+    parameter_values: Mapping[str, Sequence[float]],
+    taint: TaintReport,
+    deps: ProgramDependencies,
+    program_volume: Volume,
+    collapse_linear: bool = True,
+) -> DesignDecision:
+    """Produce the reduced experiment design.
+
+    ``parameter_values`` lists candidate values per parameter; reductions
+    are applied in order: pruning, linear-factor collapsing, then the
+    additive-only strategy choice.
+    """
+    parameters = list(parameter_values)
+    naive = 1
+    for values in parameter_values.values():
+        naive *= max(1, len(values))
+
+    kept, pruned = prune_parameters(parameters, taint)
+    notes = []
+    if pruned:
+        notes.append(
+            f"pruned parameters with no effect on any loop or library "
+            f"call: {', '.join(pruned)}"
+        )
+
+    # Collapsing only pays when it reduces dimensionality below the
+    # practical multi-parameter limit (the paper models two parameters and
+    # fixes iters; it would not collapse one of the two parameters of
+    # interest).
+    collapsed: list[str] = []
+    if collapse_linear and len(kept) > 2:
+        for param in linear_global_factors(program_volume, kept, taint):
+            if len(kept) <= 1:
+                break
+            kept.remove(param)
+            collapsed.append(param)
+        if collapsed:
+            notes.append(
+                "collapsed pure linear global factors (fixed to their "
+                f"smallest value): {', '.join(collapsed)}"
+            )
+
+    reduced_values = {p: list(parameter_values[p]) for p in kept}
+    fixed = {
+        p: float(min(parameter_values[p]))
+        for p in pruned + collapsed
+        if parameter_values[p]
+    }
+
+    # Strategy: additive-only dependency structure admits one-at-a-time.
+    program_dep = deps.program
+    additive = program_dep is not None and program_dep.additive_only
+    if additive and len(kept) > 1:
+        configs = one_at_a_time(reduced_values)
+        strategy = "one-at-a-time (additive-only dependencies)"
+        notes.append(
+            "all cross-parameter dependencies are additive: single-"
+            "parameter sweeps suffice (paper A2)"
+        )
+    else:
+        configs = full_factorial(reduced_values) if reduced_values else [{}]
+        strategy = "full-factorial"
+
+    for cfg in configs:
+        cfg.update(fixed)
+
+    return DesignDecision(
+        configurations=configs,
+        kept_parameters=tuple(kept),
+        pruned_parameters=tuple(pruned),
+        collapsed_parameters=tuple(collapsed),
+        strategy=strategy,
+        naive_size=naive,
+        notes=notes,
+    )

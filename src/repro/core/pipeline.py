@@ -1,0 +1,269 @@
+"""The Perf-Taint pipeline (paper Figure 2).
+
+Orchestrates the four stages the paper improves with taint information:
+
+1. **parameter identification** — static pruning plus a dynamic taint run
+   on a small representative configuration;
+2. **reduced experiment design** — parameter pruning, linear-factor
+   collapsing, additive-only sweeps;
+3. **instrumented experiments** — selective instrumentation, measurement
+   with noise and contention;
+4. **model generation** — hybrid PMNF modeling with taint priors, plus
+   validity checks.
+
+Each stage is a separate method so benchmarks and examples can run any
+prefix; :meth:`PerfTaintPipeline.run` chains them all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import math
+
+from ..libdb.database import LibraryDatabase
+from ..libdb.mpi_models import MPI_DATABASE
+from ..measure.experiment import (
+    ConfigKey,
+    ExperimentRunner,
+    Measurements,
+    Workload,
+)
+from ..measure.instrumentation import (
+    InstrumentationMode,
+    InstrumentationPlan,
+    default_filter_plan,
+    full_plan,
+    none_plan,
+    taint_filter_plan,
+)
+from ..measure.noise import GaussianNoise, NoiseModel
+from ..measure.profiler import ProfileResult
+from ..modeling.modeler import Modeler
+from ..mpisim.contention import ContentionModel, NoContention
+from ..staticanalysis.prune import StaticReport, analyze_program
+from ..taint.engine import TaintInterpreter
+from ..taint.policy import FULL_POLICY, PropagationPolicy
+from ..taint.report import TaintReport
+from ..volume.depclass import ProgramDependencies, classify_program
+from ..volume.loopnest import VolumeReport, compute_volumes
+from .classify import Classification, classify_functions
+from .experiment_design import DesignDecision, design_experiments
+from .hybrid import HybridModeler, ModelComparison
+from .validation import ContentionFinding, detect_contention
+
+
+@dataclass
+class PerfTaintResult:
+    """Everything the pipeline produced."""
+
+    static: StaticReport
+    taint: TaintReport
+    volumes: VolumeReport
+    dependencies: ProgramDependencies
+    classification: Classification
+    design: DesignDecision
+    plan: InstrumentationPlan
+    measurements: Measurements
+    profiles: dict[ConfigKey, ProfileResult]
+    models: dict[str, ModelComparison]
+    contention_findings: list[ContentionFinding] = field(default_factory=list)
+
+
+@dataclass
+class PerfTaintPipeline:
+    """Configurable end-to-end Perf-Taint run over one workload."""
+
+    workload: Workload
+    library: LibraryDatabase = field(default_factory=lambda: MPI_DATABASE)
+    policy: PropagationPolicy = FULL_POLICY
+    noise: NoiseModel = field(default_factory=GaussianNoise)
+    contention: ContentionModel = field(default_factory=NoContention)
+    modeler: Modeler = field(default_factory=Modeler)
+    repetitions: int = 5
+    seed: int = 0
+
+    # ------------------------------------------------------------------
+    # stage 1: analysis
+
+    def analyze_static(self) -> StaticReport:
+        """Compile-time phase (paper 5.1)."""
+        return analyze_program(
+            self.workload.program(), self.library.is_relevant
+        )
+
+    def analyze_taint(self) -> TaintReport:
+        """Dynamic taint run on the workload's representative config."""
+        program = self.workload.program()
+        config = self.workload.taint_config()
+        setup = self.workload.setup(config)
+        engine = TaintInterpreter(
+            program,
+            runtime=setup.runtime,
+            config=setup.exec_config,
+            policy=self.policy,
+            library_taint=self.library,
+        )
+        result = engine.analyze(
+            setup.args, self.workload.sources(), entry=setup.entry
+        )
+        return result.report
+
+    def analyze(
+        self,
+    ) -> tuple[StaticReport, TaintReport, VolumeReport, ProgramDependencies, Classification]:
+        """Run the full analysis stage."""
+        static = self.analyze_static()
+        taint = self.analyze_taint()
+        volumes = compute_volumes(self.workload.program(), taint)
+        deps = classify_program(volumes.inclusive, volumes.program)
+        classification = classify_functions(
+            self.workload.program(), static, taint
+        )
+        return static, taint, volumes, deps, classification
+
+    # ------------------------------------------------------------------
+    # stage 2: design
+
+    def design(
+        self,
+        parameter_values: Mapping[str, Sequence[float]],
+        taint: TaintReport,
+        deps: ProgramDependencies,
+        volumes: VolumeReport,
+    ) -> DesignDecision:
+        """Taint-informed experiment design (paper A1/A2)."""
+        return design_experiments(
+            parameter_values, taint, deps, volumes.program
+        )
+
+    # ------------------------------------------------------------------
+    # stage 3: measurement
+
+    def plan_for(
+        self,
+        mode: InstrumentationMode,
+        taint: TaintReport | None = None,
+        static: StaticReport | None = None,
+    ) -> InstrumentationPlan:
+        """Instrumentation plan for the requested mode."""
+        program = self.workload.program()
+        if mode is InstrumentationMode.FULL:
+            return full_plan(program)
+        if mode is InstrumentationMode.DEFAULT_FILTER:
+            return default_filter_plan(program)
+        if mode is InstrumentationMode.NONE:
+            return none_plan()
+        if taint is None:
+            raise ValueError("taint-filter plan requires a taint report")
+        return taint_filter_plan(program, taint, static)
+
+    def measure(
+        self,
+        design: Sequence[Mapping[str, float]],
+        plan: InstrumentationPlan,
+    ) -> tuple[Measurements, dict[ConfigKey, ProfileResult]]:
+        """Run the instrumented experiments."""
+        runner = ExperimentRunner(
+            workload=self.workload,
+            plan=plan,
+            noise=self.noise,
+            contention=self.contention,
+            repetitions=self.repetitions,
+            seed=self.seed,
+        )
+        return runner.run(design)
+
+    # ------------------------------------------------------------------
+    # stage 4: modeling and validation
+
+    def model(
+        self,
+        measurements: Measurements,
+        taint: TaintReport,
+        volumes: VolumeReport | None = None,
+        compare_black_box: bool = False,
+        cov_threshold: float | None = 0.1,
+    ) -> dict[str, ModelComparison]:
+        """Hybrid model generation (paper 4.5)."""
+        hybrid = HybridModeler(modeler=self.modeler)
+        return hybrid.model_all(
+            measurements,
+            taint,
+            volumes,
+            compare_black_box=compare_black_box,
+            cov_threshold=cov_threshold,
+        )
+
+    def validate(
+        self,
+        measurements: Measurements,
+        models: Mapping[str, ModelComparison],
+        taint: TaintReport,
+    ) -> list[ContentionFinding]:
+        """Contention detection over black-box models (paper C1).
+
+        The check runs on the *black-box* side of each comparison when
+        present (the hybrid model already excludes refuted parameters);
+        a finding means the measurements contradict the code.
+        """
+        candidate_models = {
+            fn: (cmp.black_box or cmp.hybrid) for fn, cmp in models.items()
+        }
+        return detect_contention(measurements, candidate_models, taint)
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        parameter_values: Mapping[str, Sequence[float]],
+        mode: InstrumentationMode = InstrumentationMode.TAINT_FILTER,
+        compare_black_box: bool = False,
+        cov_threshold: float | None = 0.1,
+    ) -> PerfTaintResult:
+        """Full pipeline: analyze, design, measure, model, validate."""
+        static, taint, volumes, deps, classification = self.analyze()
+        design = self.design(parameter_values, taint, deps, volumes)
+        plan = self.plan_for(mode, taint, static)
+        measurements, profiles = self.measure(design.configurations, plan)
+        models = self.model(
+            measurements,
+            taint,
+            volumes,
+            compare_black_box=compare_black_box,
+            cov_threshold=cov_threshold,
+        )
+        findings = self.validate(measurements, models, taint)
+        return PerfTaintResult(
+            static=static,
+            taint=taint,
+            volumes=volumes,
+            dependencies=deps,
+            classification=classification,
+            design=design,
+            plan=plan,
+            measurements=measurements,
+            profiles=profiles,
+            models=models,
+            contention_findings=findings,
+        )
+
+
+def core_hours(
+    profiles: Mapping[ConfigKey, ProfileResult],
+    parameters: Sequence[str],
+    ranks_param: str = "p",
+    time_unit_seconds: float = 1e-9,
+) -> float:
+    """Aggregate experiment cost in core-hours (paper section A3's
+    20483 -> 547 comparison): measured time x ranks, summed over runs."""
+    total = 0.0
+    idx = list(parameters).index(ranks_param) if ranks_param in parameters else None
+    for key, profile in profiles.items():
+        ranks = key[idx] if idx is not None else 1.0
+        seconds = profile.total_time() * time_unit_seconds
+        total += seconds * ranks / 3600.0
+    if math.isnan(total):  # pragma: no cover - defensive
+        raise ValueError("core-hour aggregation produced NaN")
+    return total

@@ -1,0 +1,101 @@
+"""Human-readable rendering of pipeline results (Tables 2/3-style)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..measure.profiler import APP_KEY
+from .classify import Classification
+from .hybrid import ModelComparison
+from .pipeline import PerfTaintResult
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        line = "  ".join(c.rjust(w) for c, w in zip(row, widths))
+        lines.append(line)
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_table2(name: str, classification: Classification) -> str:
+    """Table 2-style overview of one workload."""
+    row = classification.table2_row()
+    rows = [
+        ("Functions", row["functions"]),
+        ("Pruned statically", row["pruned_statically"]),
+        ("Pruned dynamically", row["pruned_dynamically"]),
+        ("Kernels", row["kernels"]),
+        ("Comm. routines", row["comm_routines"]),
+        ("MPI functions used", row["mpi_functions"]),
+        ("Loops", row["loops"]),
+        ("Loops pruned statically", row["loops_pruned_statically"]),
+        ("Loops relevant", row["loops_relevant"]),
+        (
+            "Constant fraction",
+            f"{classification.constant_fraction * 100:.1f}%",
+        ),
+    ]
+    return f"== {name} ==\n" + format_table(("metric", "value"), rows)
+
+
+def render_table3(
+    name: str, counts: Mapping[str, Mapping[str, int]]
+) -> str:
+    """Table 3-style per-parameter coverage."""
+    params = [p for p in counts if p != "combined"] + ["combined"]
+    rows = [
+        (p, counts[p]["functions"], counts[p]["loops"]) for p in params
+    ]
+    return f"== {name}: parameter coverage ==\n" + format_table(
+        ("parameter", "functions", "loops"), rows
+    )
+
+
+def render_models(
+    models: Mapping[str, ModelComparison], max_rows: int | None = None
+) -> str:
+    """Fitted models, hybrid vs black-box side by side."""
+    rows = []
+    for fn in sorted(models):
+        cmp = models[fn]
+        label = "<app>" if fn == APP_KEY else fn
+        bb = cmp.black_box.format() if cmp.black_box else "-"
+        rows.append((label, cmp.hybrid.format(), bb))
+        if max_rows is not None and len(rows) >= max_rows:
+            break
+    return format_table(("function", "hybrid model", "black-box model"), rows)
+
+
+def render_summary(name: str, result: PerfTaintResult) -> str:
+    """One-page pipeline summary."""
+    parts = [render_table2(name, result.classification)]
+    parts.append(
+        f"\nDesign: {result.design.strategy}, "
+        f"{result.design.size} configurations "
+        f"(naive: {result.design.naive_size}, "
+        f"saved {result.design.savings_fraction * 100:.1f}%)"
+    )
+    if result.design.notes:
+        parts.extend(f"  - {note}" for note in result.design.notes)
+    parts.append(
+        f"Instrumentation: {result.plan.mode.value}, "
+        f"{len(result.plan)} functions instrumented"
+    )
+    parts.append("\n" + render_models(result.models, max_rows=30))
+    if result.contention_findings:
+        parts.append("\nValidity findings:")
+        parts.extend(f"  ! {f}" for f in result.contention_findings)
+    if result.taint.warnings:
+        parts.append("\nTaint warnings:")
+        parts.extend(f"  * {w}" for w in result.taint.warnings)
+    return "\n".join(parts)

@@ -1,0 +1,88 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at the API boundary.  Sub-hierarchies mirror the
+pipeline stages described in the paper: program construction (IR), execution
+(interpreter), taint analysis, measurement, and modeling.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IRError(ReproError):
+    """Malformed program IR (validation failures, duplicate names, ...)."""
+
+
+class IRValidationError(IRError):
+    """A program failed structural validation (see :mod:`repro.ir.validate`)."""
+
+
+class InterpreterError(ReproError):
+    """Runtime failure while interpreting a program."""
+
+
+class UndefinedVariableError(InterpreterError):
+    """A variable was read before any assignment."""
+
+    def __init__(self, name: str, function: str | None = None) -> None:
+        self.name = name
+        self.function = function
+        where = f" in function '{function}'" if function else ""
+        super().__init__(f"undefined variable '{name}'{where}")
+
+
+class UndefinedFunctionError(InterpreterError):
+    """A call referenced a function unknown to the program and library DB."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(f"undefined function '{name}'")
+
+
+class ArityError(InterpreterError):
+    """A call supplied the wrong number of arguments."""
+
+    def __init__(self, name: str, expected: int, got: int) -> None:
+        self.name = name
+        self.expected = expected
+        self.got = got
+        super().__init__(
+            f"function '{name}' expects {expected} argument(s), got {got}"
+        )
+
+
+class ExecutionLimitError(InterpreterError):
+    """The interpreter exceeded its configured step budget (likely a hang)."""
+
+
+class TaintError(ReproError):
+    """Failure inside the dynamic taint engine."""
+
+
+class LabelExhaustionError(TaintError):
+    """The 16-bit union-label space was exhausted (paper, section 5.2)."""
+
+
+class RecursionUnsupportedError(TaintError):
+    """Recursive call encountered: analysis results are over-approximated.
+
+    The paper's analysis "does not support recursive functions" but "warns of
+    over-approximation when recursion is detected" (section 4.1).  Engines
+    raise this only in strict mode; the default is to warn.
+    """
+
+
+class MeasurementError(ReproError):
+    """Failure in the measurement / instrumentation substrate."""
+
+
+class ModelingError(ReproError):
+    """Failure in the empirical modeling substrate (Extra-P reimplementation)."""
+
+
+class DesignError(ReproError):
+    """Invalid experiment design specification."""

@@ -1,0 +1,44 @@
+"""Execution substrate: metered tree-walking interpreter.
+
+Executes repro-IR programs under a discrete cost model, emitting events the
+measurement layer (:mod:`repro.measure`) aggregates into profiles.  The
+taint engine (:mod:`repro.taint`) extends :class:`Interpreter` with shadow
+state.
+"""
+
+from .config import DEFAULT_CONFIG, ExecConfig
+from .events import CostKind, ExecutionListener, MultiListener, NullListener
+from .fastpath import FastPathPlanner, LeafCost, leaf_unit_cost
+from .interpreter import Interpreter
+from .metrics import FunctionMetrics, MetricsCollector, RunResult
+from .runtime import (
+    LibraryCall,
+    LibraryRuntime,
+    NoLibraryRuntime,
+    TableRuntime,
+)
+from .values import Array, Scalar, Value, truthy
+
+__all__ = [
+    "Array",
+    "CostKind",
+    "DEFAULT_CONFIG",
+    "ExecConfig",
+    "ExecutionListener",
+    "FastPathPlanner",
+    "FunctionMetrics",
+    "Interpreter",
+    "LeafCost",
+    "LibraryCall",
+    "LibraryRuntime",
+    "MetricsCollector",
+    "MultiListener",
+    "NoLibraryRuntime",
+    "NullListener",
+    "RunResult",
+    "Scalar",
+    "TableRuntime",
+    "Value",
+    "leaf_unit_cost",
+    "truthy",
+]

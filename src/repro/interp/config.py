@@ -1,0 +1,37 @@
+"""Interpreter configuration: cost model constants and execution limits.
+
+The discrete-cost model assigns simulated time to executed operations.  The
+unit is arbitrary (think "about a nanosecond"); only *ratios* matter for the
+phenomena reproduced from the paper:
+
+* plain statements are cheap (``stmt_cost``),
+* function calls have small intrinsic overhead (``call_cost``),
+* instrumentation overhead per call (configured in the measurement layer)
+  is 2–3 orders of magnitude larger, which is what makes full
+  instrumentation of accessor-heavy C++ code catastrophic (Figures 3/4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """Knobs of the execution substrate."""
+
+    #: Simulated cost units charged per executed simple statement.
+    stmt_cost: float = 1.0
+    #: Extra cost units charged per function call (caller side).
+    call_cost: float = 2.0
+    #: Cost charged per loop iteration for condition/increment bookkeeping.
+    loop_iter_cost: float = 1.0
+    #: Abort execution after this many interpreter steps (hang protection).
+    step_limit: int = 200_000_000
+    #: Enable the O(1) fast path for pure-cost counted loop nests.
+    fast_loops: bool = True
+    #: Maximum call depth before aborting (runaway recursion protection).
+    max_call_depth: int = 500
+
+
+DEFAULT_CONFIG = ExecConfig()

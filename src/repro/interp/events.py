@@ -1,0 +1,111 @@
+"""Execution event protocol.
+
+Interpreters emit events; listeners (the simulated Score-P profiler in
+:mod:`repro.measure.profiler`, test doubles, ...) consume them.  Events are
+the boundary between the execution substrate and the measurement substrate,
+mirroring how the original Perf-Taint pipeline layers Score-P on top of the
+compiled binary.
+
+``CostKind`` distinguishes compute-bound, memory-bound (contention-
+sensitive, paper section C1) and communication cost.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Protocol
+
+
+class CostKind(str, Enum):
+    """What kind of simulated time a cost event represents."""
+
+    COMPUTE = "compute"
+    MEMORY = "memory"
+    COMM = "comm"
+
+
+class ExecutionListener(Protocol):
+    """Hook interface for observing a program execution.
+
+    All methods have default no-op semantics in :class:`NullListener`;
+    implementors may override any subset.
+    """
+
+    def on_enter(self, function: str) -> None:
+        """A call to *function* begins (program or library function)."""
+
+    def on_exit(self, function: str) -> None:
+        """The current call to *function* returns."""
+
+    def on_cost(self, kind: CostKind, amount: float) -> None:
+        """*amount* simulated cost units accrue in the current function."""
+
+    def on_loop_iterations(self, function: str, loop_id: int, count: int) -> None:
+        """Loop *loop_id* of *function* performed *count* (more) iterations."""
+
+    def on_aggregate_calls(
+        self,
+        callee: str,
+        count: int,
+        unit_compute: float,
+        unit_memory: float,
+    ) -> None:
+        """The loop fast path executed *count* calls to leaf function
+        *callee*, each costing (*unit_compute*, *unit_memory*) units.
+
+        Semantically equivalent to *count* ``on_enter``/``on_cost``/
+        ``on_exit`` triples; reported in aggregate so O(1) loop execution
+        stays O(1) in the listener too.
+        """
+
+
+class NullListener:
+    """Listener that ignores every event."""
+
+    def on_enter(self, function: str) -> None:  # noqa: D102
+        pass
+
+    def on_exit(self, function: str) -> None:  # noqa: D102
+        pass
+
+    def on_cost(self, kind: CostKind, amount: float) -> None:  # noqa: D102
+        pass
+
+    def on_loop_iterations(  # noqa: D102
+        self, function: str, loop_id: int, count: int
+    ) -> None:
+        pass
+
+    def on_aggregate_calls(  # noqa: D102
+        self, callee: str, count: int, unit_compute: float, unit_memory: float
+    ) -> None:
+        pass
+
+
+class MultiListener(NullListener):
+    """Fan-out listener broadcasting events to several children."""
+
+    def __init__(self, *listeners: ExecutionListener) -> None:
+        self.listeners = list(listeners)
+
+    def on_enter(self, function: str) -> None:
+        for lst in self.listeners:
+            lst.on_enter(function)
+
+    def on_exit(self, function: str) -> None:
+        for lst in self.listeners:
+            lst.on_exit(function)
+
+    def on_cost(self, kind: CostKind, amount: float) -> None:
+        for lst in self.listeners:
+            lst.on_cost(kind, amount)
+
+    def on_loop_iterations(self, function: str, loop_id: int, count: int) -> None:
+        for lst in self.listeners:
+            lst.on_loop_iterations(function, loop_id, count)
+
+    def on_aggregate_calls(
+        self, callee: str, count: int, unit_compute: float, unit_memory: float
+    ) -> None:
+        for lst in self.listeners:
+            lst.on_aggregate_calls(callee, count, unit_compute, unit_memory)

@@ -1,0 +1,289 @@
+"""O(1) execution of pure-cost counted loop nests.
+
+Interpreting a LULESH-sized element loop (``size**3`` iterations, dozens of
+kernels, hundreds of measurement configurations) statement-by-statement in
+Python would dominate the whole reproduction.  Following the optimization
+guidance for numerical Python (vectorize the hot loop; compute aggregates in
+closed form), the metered interpreter recognizes loop nests whose execution
+affects *only* simulated cost — no program state — and executes them in
+closed form:
+
+* a counted ``For`` loop whose bounds and step are invariant within the
+  nest, and whose body consists solely of
+
+  - cost intrinsics (``work``/``mem_work``) with nest-invariant arguments,
+  - calls to *leaf constant-cost* functions (no loops, branches, calls or
+    stores — the C++ getters/setters of the paper's LULESH discussion), and
+  - nested ``For`` loops satisfying the same conditions,
+
+  executes as ``trip_count × per-iteration cost`` with aggregated call and
+  loop-iteration events.
+
+The taint engine never uses this path (taint runs use tiny representative
+configurations, paper section 6: LULESH ``size=5, p=8``), so taint semantics
+are unaffected.  Equivalence of fast and slow paths is property-tested in
+``tests/interp/test_fastpath.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..ir.expr import Call, Const, Expr, Intrinsic
+from ..ir.program import Function, Program
+from ..ir.stmt import Assign, ExprStmt, For, Return
+from .config import ExecConfig
+
+
+@dataclass(frozen=True)
+class LeafCost:
+    """Constant per-call cost of a leaf function."""
+
+    compute: float
+    memory: float
+
+
+def leaf_unit_cost(fn: Function, config: ExecConfig) -> LeafCost | None:
+    """Constant per-call cost of *fn*, or None if *fn* is not a leaf.
+
+    Leaf functions contain no loops, branches, calls or stores, and any cost
+    intrinsics must have literal arguments — i.e. every call costs the same
+    regardless of arguments or program state.  These are exactly the
+    "simple constant functions, such as class getters and setters" the
+    paper prunes (section A3).
+    """
+    compute = 0.0
+    memory = 0.0
+    for stmt in fn.statements():
+        if not isinstance(stmt, (Assign, ExprStmt, Return)):
+            return None
+        for expr in stmt.exprs():
+            for node in expr.walk():
+                if isinstance(node, Call):
+                    return None
+                if isinstance(node, Intrinsic):
+                    if node.name == "alloc":
+                        return None
+                    if node.is_cost:
+                        if not node.args or not isinstance(node.args[0], Const):
+                            return None
+                        amount = float(node.args[0].value)
+                        if node.name == "work":
+                            compute += amount
+                        else:
+                            memory += amount
+        # Return is free in the interpreter's cost model; Assign/ExprStmt
+        # charge stmt_cost (must match Interpreter._exec_stmt exactly).
+        if isinstance(stmt, (Assign, ExprStmt)):
+            compute += config.stmt_cost
+    return LeafCost(compute, memory)
+
+
+@dataclass
+class LoopPlan:
+    """Static shape of a fast-executable loop nest rooted at one ``For``."""
+
+    loop: For
+    function: str
+    #: (intrinsic name, argument expression) for each cost statement.
+    intrinsics: list[tuple[str, Expr]] = field(default_factory=list)
+    #: (callee name, per-call LeafCost) for each leaf call statement.
+    calls: list[tuple[str, LeafCost]] = field(default_factory=list)
+    #: Nested fast sub-loops.
+    nested: list["LoopPlan"] = field(default_factory=list)
+    #: Number of body statements (for stmt_cost charging).
+    stmt_count: int = 0
+
+
+@dataclass
+class FastResult:
+    """Aggregated outcome of executing a loop nest in closed form."""
+
+    compute: float = 0.0
+    memory: float = 0.0
+    #: (function, loop_id) -> iterations
+    loop_iterations: dict[tuple[str, int], int] = field(default_factory=dict)
+    #: callee -> (count, unit LeafCost)
+    calls: dict[str, tuple[int, LeafCost]] = field(default_factory=dict)
+
+
+class FastPathPlanner:
+    """Builds and caches :class:`LoopPlan` objects for a program."""
+
+    def __init__(self, program: Program, config: ExecConfig) -> None:
+        self._program = program
+        self._config = config
+        self._leaf_cache: dict[str, LeafCost | None] = {}
+        # (function name, loop_id) -> plan or None
+        self._plan_cache: dict[tuple[str, int], LoopPlan | None] = {}
+
+    # -- leaf costs ----------------------------------------------------------
+
+    def leaf_cost(self, name: str) -> LeafCost | None:
+        """Cached :func:`leaf_unit_cost` for program function *name*."""
+        if name not in self._leaf_cache:
+            if name in self._program:
+                self._leaf_cache[name] = leaf_unit_cost(
+                    self._program.function(name), self._config
+                )
+            else:
+                self._leaf_cache[name] = None
+        return self._leaf_cache[name]
+
+    # -- planning --------------------------------------------------------------
+
+    def plan(self, fn_name: str, loop: For) -> LoopPlan | None:
+        """Return a fast plan for *loop* in *fn_name*, or None if ineligible."""
+        key = (fn_name, loop.loop_id)
+        if key not in self._plan_cache:
+            self._plan_cache[key] = self._build(fn_name, loop)
+        return self._plan_cache[key]
+
+    def _build(self, fn_name: str, loop: For) -> LoopPlan | None:
+        plan = self._build_rec(fn_name, loop)
+        if plan is None:
+            return None
+        # Invariance: no expression in the nest may read a name assigned in
+        # the nest (the only assigned names are the loop variables).
+        loop_vars = self._collect_loop_vars(plan)
+        if not self._check_invariance(plan, loop_vars, outermost=True):
+            return None
+        return plan
+
+    def _build_rec(self, fn_name: str, loop: For) -> LoopPlan | None:
+        for bound in (loop.start, loop.stop, loop.step):
+            if not _pure_arith(bound):
+                return None
+        plan = LoopPlan(loop=loop, function=fn_name)
+        for stmt in loop.body:
+            if isinstance(stmt, ExprStmt):
+                plan.stmt_count += 1
+                expr = stmt.expr
+                if isinstance(expr, Intrinsic) and expr.is_cost:
+                    if len(expr.args) != 1 or not _pure_arith(expr.args[0]):
+                        return None
+                    plan.intrinsics.append((expr.name, expr.args[0]))
+                    continue
+                if isinstance(expr, Call):
+                    unit = self.leaf_cost(expr.callee)
+                    if unit is None:
+                        return None
+                    if not all(_pure_arith(a) for a in expr.args):
+                        return None
+                    plan.calls.append((expr.callee, unit))
+                    continue
+                return None
+            if isinstance(stmt, For):
+                sub = self._build_rec(fn_name, stmt)
+                if sub is None:
+                    return None
+                plan.nested.append(sub)
+                continue
+            return None
+        return plan
+
+    @staticmethod
+    def _collect_loop_vars(plan: LoopPlan) -> frozenset[str]:
+        out = {plan.loop.var}
+        stack = list(plan.nested)
+        while stack:
+            sub = stack.pop()
+            out.add(sub.loop.var)
+            stack.extend(sub.nested)
+        return frozenset(out)
+
+    def _check_invariance(
+        self, plan: LoopPlan, loop_vars: frozenset[str], outermost: bool
+    ) -> bool:
+        loop = plan.loop
+        # Bounds of the outermost loop may not read any nest loop var; bounds
+        # of inner loops may not either (so trip counts are nest-invariant).
+        # The outermost start is evaluated before the loop var exists, but a
+        # reference to a nest var would still be a different (outer) binding
+        # we cannot reason about — reject uniformly.
+        for bound in (loop.start, loop.stop, loop.step):
+            if bound.free_vars() & loop_vars:
+                return False
+        for _, arg in plan.intrinsics:
+            if arg.free_vars() & loop_vars:
+                return False
+        for sub in plan.nested:
+            if not self._check_invariance(sub, loop_vars, outermost=False):
+                return False
+        return True
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(
+        self,
+        plan: LoopPlan,
+        eval_expr: Callable[[Expr], float],
+    ) -> FastResult | None:
+        """Execute *plan* in closed form using *eval_expr* for bound/arg
+        evaluation.  Returns None if runtime values make the plan invalid
+        (non-positive step, non-numeric bounds)."""
+        result = FastResult()
+        if self._execute_into(plan, eval_expr, result, multiplier=1) is None:
+            return None
+        return result
+
+    def _execute_into(
+        self,
+        plan: LoopPlan,
+        eval_expr: Callable[[Expr], float],
+        result: FastResult,
+        multiplier: int,
+    ) -> bool | None:
+        cfg = self._config
+        loop = plan.loop
+        try:
+            start = float(eval_expr(loop.start))
+            stop = float(eval_expr(loop.stop))
+            step = float(eval_expr(loop.step))
+        except (TypeError, ValueError):
+            return None
+        if not step > 0:
+            return None
+        trip = max(0, math.ceil((stop - start) / step)) if stop > start else 0
+
+        total_trips = trip * multiplier
+        if total_trips == 0:
+            return True
+        key = (plan.function, loop.loop_id)
+        result.loop_iterations[key] = (
+            result.loop_iterations.get(key, 0) + total_trips
+        )
+
+        per_iter_compute = cfg.loop_iter_cost + plan.stmt_count * cfg.stmt_cost
+        per_iter_memory = 0.0
+        for name, arg in plan.intrinsics:
+            amount = float(eval_expr(arg))
+            if name == "work":
+                per_iter_compute += amount
+            else:
+                per_iter_memory += amount
+        for callee, unit in plan.calls:
+            per_iter_compute += cfg.call_cost
+            count, _ = result.calls.get(callee, (0, unit))
+            result.calls[callee] = (count + total_trips, unit)
+
+        result.compute += total_trips * per_iter_compute
+        result.memory += total_trips * per_iter_memory
+
+        for sub in plan.nested:
+            if self._execute_into(sub, eval_expr, result, total_trips) is None:
+                return None
+        return True
+
+
+def _pure_arith(expr: Expr) -> bool:
+    """True when *expr* contains no calls, cost intrinsics, or allocations
+    (so evaluating it is free and side-effect free)."""
+    for node in expr.walk():
+        if isinstance(node, Call):
+            return False
+        if isinstance(node, Intrinsic) and (node.is_cost or node.name == "alloc"):
+            return False
+    return True

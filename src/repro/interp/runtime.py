@@ -1,0 +1,78 @@
+"""Library-runtime protocol.
+
+Programs may call routines that are not defined in the program itself —
+most importantly the MPI routines the paper's library database covers
+(section 5.3).  The interpreter resolves such calls through an object
+implementing :class:`LibraryRuntime`; :mod:`repro.mpisim` provides the MPI
+implementation, and tests use small fakes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from .events import CostKind
+from .values import Value
+
+
+@dataclass
+class LibraryCall:
+    """Result of a library-routine invocation."""
+
+    value: Value = None
+    costs: dict[CostKind, float] = field(default_factory=dict)
+
+    @classmethod
+    def comm(cls, amount: float, value: Value = None) -> "LibraryCall":
+        """Convenience for a pure communication cost."""
+        return cls(value=value, costs={CostKind.COMM: amount})
+
+    @classmethod
+    def compute(cls, amount: float, value: Value = None) -> "LibraryCall":
+        """Convenience for a pure compute cost."""
+        return cls(value=value, costs={CostKind.COMPUTE: amount})
+
+
+class LibraryRuntime(Protocol):
+    """Resolver for calls to functions not defined in the program."""
+
+    def handles(self, name: str) -> bool:
+        """True if this runtime implements routine *name*."""
+
+    def call(self, name: str, args: Sequence[Value]) -> LibraryCall:
+        """Invoke routine *name* with evaluated *args*."""
+
+
+class NoLibraryRuntime:
+    """Runtime that implements nothing (default)."""
+
+    def handles(self, name: str) -> bool:  # noqa: D102
+        return False
+
+    def call(self, name: str, args: Sequence[Value]) -> LibraryCall:  # noqa: D102
+        raise NotImplementedError("NoLibraryRuntime cannot call anything")
+
+
+class TableRuntime:
+    """Simple dict-backed runtime for tests and small examples.
+
+    Maps routine names to Python callables returning :class:`LibraryCall`
+    (or a plain value, which is wrapped with zero cost).
+    """
+
+    def __init__(self) -> None:
+        self._table: dict[str, object] = {}
+
+    def register(self, name: str, fn: object) -> None:
+        """Register *fn* as the implementation of routine *name*."""
+        self._table[name] = fn
+
+    def handles(self, name: str) -> bool:  # noqa: D102
+        return name in self._table
+
+    def call(self, name: str, args: Sequence[Value]) -> LibraryCall:  # noqa: D102
+        result = self._table[name](*args)
+        if isinstance(result, LibraryCall):
+            return result
+        return LibraryCall(value=result)

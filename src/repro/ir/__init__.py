@@ -1,0 +1,165 @@
+"""Program intermediate representation.
+
+This package stands in for LLVM IR in the original Perf-Taint: a small
+structured imperative language with functions, natural loops, branches,
+arrays, calls, and cost intrinsics, plus the classic analyses the paper
+relies on (CFG, dominators, natural loops, call graph).
+
+Most users build programs through :class:`ProgramBuilder`::
+
+    from repro.ir import ProgramBuilder
+
+    pb = ProgramBuilder()
+    with pb.function("main", ["n"]) as f:
+        with f.for_("i", 0, f.var("n")):
+            f.work(1)
+    program = pb.build(entry="main")
+"""
+
+from .builder import (
+    FunctionBuilder,
+    ProgramBuilder,
+    add,
+    and_,
+    as_expr,
+    binop,
+    call,
+    const,
+    div,
+    eq,
+    floordiv,
+    ge,
+    gt,
+    intrinsic,
+    le,
+    load,
+    log2,
+    lt,
+    max_,
+    mem_work,
+    min_,
+    mod,
+    mul,
+    ne,
+    neg,
+    not_,
+    or_,
+    pow_,
+    sqrt,
+    sub,
+    var,
+    work,
+)
+from .callgraph import CallGraph, build_callgraph
+from .cfg import CFG, BasicBlock, build_cfg
+from .dominators import dominators, immediate_dominators
+from .expr import (
+    BINARY_OPS,
+    COST_INTRINSICS,
+    INTRINSICS,
+    UNARY_OPS,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    Intrinsic,
+    Load,
+    UnOp,
+    Var,
+)
+from .loops import LoopForest, NaturalLoop, find_natural_loops, loop_forest
+from .printer import format_expr, format_function, format_program
+from .program import Function, Program
+from .stmt import (
+    Assign,
+    Break,
+    Continue,
+    ExprStmt,
+    For,
+    If,
+    Return,
+    Stmt,
+    Store,
+    While,
+    assigned_names,
+    iter_branches,
+    iter_loops,
+)
+from .validate import validate_program
+
+__all__ = [
+    "BINARY_OPS",
+    "COST_INTRINSICS",
+    "INTRINSICS",
+    "UNARY_OPS",
+    "Assign",
+    "BasicBlock",
+    "BinOp",
+    "Break",
+    "CFG",
+    "Call",
+    "CallGraph",
+    "Const",
+    "Continue",
+    "Expr",
+    "ExprStmt",
+    "For",
+    "Function",
+    "FunctionBuilder",
+    "If",
+    "Intrinsic",
+    "Load",
+    "LoopForest",
+    "NaturalLoop",
+    "Program",
+    "ProgramBuilder",
+    "Return",
+    "Stmt",
+    "Store",
+    "UnOp",
+    "Var",
+    "While",
+    "add",
+    "and_",
+    "as_expr",
+    "assigned_names",
+    "binop",
+    "build_callgraph",
+    "build_cfg",
+    "call",
+    "const",
+    "div",
+    "dominators",
+    "eq",
+    "find_natural_loops",
+    "floordiv",
+    "format_expr",
+    "format_function",
+    "format_program",
+    "ge",
+    "gt",
+    "immediate_dominators",
+    "intrinsic",
+    "iter_branches",
+    "iter_loops",
+    "le",
+    "load",
+    "log2",
+    "loop_forest",
+    "lt",
+    "max_",
+    "mem_work",
+    "min_",
+    "mod",
+    "mul",
+    "ne",
+    "neg",
+    "not_",
+    "or_",
+    "pow_",
+    "sqrt",
+    "sub",
+    "validate_program",
+    "var",
+    "work",
+]

@@ -1,0 +1,350 @@
+"""Fluent construction helpers for the repro IR.
+
+Two layers:
+
+* module-level expression helpers (``const``, ``var``, ``add`` ...) that
+  coerce Python numbers into :class:`~repro.ir.expr.Const` automatically;
+* :class:`FunctionBuilder` / :class:`ProgramBuilder`, context-manager based
+  builders for structured statements::
+
+      pb = ProgramBuilder()
+      with pb.function("kernel", ["n"]) as f:
+          with f.for_("i", 0, f.var("n")):
+              f.work(10)
+      program = pb.build(entry="kernel")
+"""
+
+from __future__ import annotations
+
+from types import TracebackType
+from typing import Sequence, Union
+
+from ..errors import IRError
+from .expr import BinOp, Call, Const, Expr, Intrinsic, Load, Number, UnOp, Var
+from .program import Function, Program
+from .stmt import (
+    Assign,
+    Break,
+    Continue,
+    ExprStmt,
+    For,
+    If,
+    Return,
+    Stmt,
+    Store,
+    While,
+)
+
+ExprLike = Union[Expr, Number]
+
+
+def as_expr(value: ExprLike) -> Expr:
+    """Coerce a Python number (or pass through an Expr) into an Expr."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float, bool)):
+        return Const(value)
+    raise IRError(f"cannot convert {value!r} to an expression")
+
+
+# ----------------------------------------------------------------------
+# expression helpers
+
+
+def const(value: Number) -> Const:
+    """Literal constant."""
+    return Const(value)
+
+
+def var(name: str) -> Var:
+    """Variable read."""
+    return Var(name)
+
+
+def binop(op: str, lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    """Generic binary operation."""
+    return BinOp(op, as_expr(lhs), as_expr(rhs))
+
+
+def add(lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    return binop("+", lhs, rhs)
+
+
+def sub(lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    return binop("-", lhs, rhs)
+
+
+def mul(lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    return binop("*", lhs, rhs)
+
+
+def div(lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    return binop("/", lhs, rhs)
+
+
+def floordiv(lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    return binop("//", lhs, rhs)
+
+
+def mod(lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    return binop("%", lhs, rhs)
+
+
+def pow_(lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    return binop("**", lhs, rhs)
+
+
+def lt(lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    return binop("<", lhs, rhs)
+
+
+def le(lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    return binop("<=", lhs, rhs)
+
+
+def gt(lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    return binop(">", lhs, rhs)
+
+
+def ge(lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    return binop(">=", lhs, rhs)
+
+
+def eq(lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    return binop("==", lhs, rhs)
+
+
+def ne(lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    return binop("!=", lhs, rhs)
+
+
+def and_(lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    return binop("and", lhs, rhs)
+
+
+def or_(lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    return binop("or", lhs, rhs)
+
+
+def min_(lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    return binop("min", lhs, rhs)
+
+
+def max_(lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    return binop("max", lhs, rhs)
+
+
+def neg(operand: ExprLike) -> UnOp:
+    return UnOp("-", as_expr(operand))
+
+
+def not_(operand: ExprLike) -> UnOp:
+    return UnOp("not", as_expr(operand))
+
+
+def load(array: str, index: ExprLike) -> Load:
+    """Array element read."""
+    return Load(array, as_expr(index))
+
+
+def call(callee: str, *args: ExprLike) -> Call:
+    """Call expression."""
+    return Call(callee, tuple(as_expr(a) for a in args))
+
+
+def intrinsic(name: str, *args: ExprLike) -> Intrinsic:
+    """Generic intrinsic expression."""
+    return Intrinsic(name, tuple(as_expr(a) for a in args))
+
+
+def work(amount: ExprLike) -> Intrinsic:
+    """Compute-bound cost sink: consumes ``amount`` simulated cost units."""
+    return intrinsic("work", amount)
+
+
+def mem_work(amount: ExprLike) -> Intrinsic:
+    """Memory-bound cost sink: like ``work`` but subject to the
+    rank-per-node contention factor (paper section C1)."""
+    return intrinsic("mem_work", amount)
+
+
+def log2(x: ExprLike) -> Intrinsic:
+    return intrinsic("log2", x)
+
+
+def sqrt(x: ExprLike) -> Intrinsic:
+    return intrinsic("sqrt", x)
+
+
+# ----------------------------------------------------------------------
+# statement builders
+
+
+class _BlockCtx:
+    """Context manager pushing a statement list on a FunctionBuilder."""
+
+    def __init__(self, fb: "FunctionBuilder", block: list[Stmt]) -> None:
+        self._fb = fb
+        self._block = block
+
+    def __enter__(self) -> "FunctionBuilder":
+        self._fb._stack.append(self._block)
+        return self._fb
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        popped = self._fb._stack.pop()
+        if popped is not self._block:  # pragma: no cover - defensive
+            raise IRError("builder block stack corrupted")
+
+
+class FunctionBuilder:
+    """Builds one function's statement body via nested ``with`` blocks."""
+
+    def __init__(self, name: str, params: Sequence[str] = (), kind: str = "") -> None:
+        self.name = name
+        self.params = tuple(params)
+        self.kind = kind
+        self._body: list[Stmt] = []
+        self._stack: list[list[Stmt]] = [self._body]
+
+    # -- expression passthroughs so builders are self-contained ---------
+
+    @staticmethod
+    def var(name: str) -> Var:
+        return Var(name)
+
+    @staticmethod
+    def const(value: Number) -> Const:
+        return Const(value)
+
+    # -- statement emission ---------------------------------------------
+
+    def _emit(self, stmt: Stmt) -> Stmt:
+        self._stack[-1].append(stmt)
+        return stmt
+
+    def assign(self, name: str, value: ExprLike) -> Stmt:
+        """Emit ``name = value``."""
+        return self._emit(Assign(name, as_expr(value)))
+
+    def store(self, array: str, index: ExprLike, value: ExprLike) -> Stmt:
+        """Emit ``array[index] = value``."""
+        return self._emit(Store(array, as_expr(index), as_expr(value)))
+
+    def expr(self, expression: ExprLike) -> Stmt:
+        """Emit an expression statement."""
+        return self._emit(ExprStmt(as_expr(expression)))
+
+    def call(self, callee: str, *args: ExprLike) -> Stmt:
+        """Emit a call-for-effect statement."""
+        return self.expr(call(callee, *args))
+
+    def work(self, amount: ExprLike) -> Stmt:
+        """Emit a compute-bound cost sink."""
+        return self.expr(work(amount))
+
+    def mem_work(self, amount: ExprLike) -> Stmt:
+        """Emit a memory-bound cost sink."""
+        return self.expr(mem_work(amount))
+
+    def alloc(self, name: str, size: ExprLike) -> Stmt:
+        """Emit an array allocation ``name = alloc(size)``."""
+        return self._emit(Assign(name, intrinsic("alloc", size)))
+
+    def ret(self, value: ExprLike | None = None) -> Stmt:
+        """Emit a return statement."""
+        return self._emit(Return(as_expr(value) if value is not None else None))
+
+    def brk(self) -> Stmt:
+        """Emit ``break``."""
+        return self._emit(Break())
+
+    def cont(self) -> Stmt:
+        """Emit ``continue``."""
+        return self._emit(Continue())
+
+    # -- structured blocks ------------------------------------------------
+
+    def for_(
+        self,
+        loop_var: str,
+        start: ExprLike,
+        stop: ExprLike,
+        step: ExprLike = 1,
+    ) -> _BlockCtx:
+        """Open a counted loop block."""
+        loop = For(loop_var, as_expr(start), as_expr(stop), as_expr(step))
+        self._emit(loop)
+        return _BlockCtx(self, loop.body)
+
+    def while_(self, cond: ExprLike) -> _BlockCtx:
+        """Open a while-loop block."""
+        loop = While(as_expr(cond))
+        self._emit(loop)
+        return _BlockCtx(self, loop.body)
+
+    def if_(self, cond: ExprLike) -> _BlockCtx:
+        """Open an if-block; pair with :meth:`else_` for the other branch."""
+        branch = If(as_expr(cond))
+        self._emit(branch)
+        self._last_if = branch
+        return _BlockCtx(self, branch.then_body)
+
+    def else_(self) -> _BlockCtx:
+        """Open the else-block of the most recent :meth:`if_`."""
+        branch = getattr(self, "_last_if", None)
+        if branch is None:
+            raise IRError("else_ without a preceding if_")
+        return _BlockCtx(self, branch.else_body)
+
+    def build(self) -> Function:
+        """Produce the immutable Function."""
+        if len(self._stack) != 1:
+            raise IRError(f"unclosed blocks in function '{self.name}'")
+        return Function(self.name, self.params, self._body, kind=self.kind)
+
+
+class ProgramBuilder:
+    """Accumulates functions and produces a finalized Program."""
+
+    def __init__(self) -> None:
+        self._functions: list[Function] = []
+        self._pending: FunctionBuilder | None = None
+        self.metadata: dict[str, object] = {}
+
+    def function(
+        self, name: str, params: Sequence[str] = (), kind: str = ""
+    ) -> "_FunctionCtx":
+        """Open a function-definition block."""
+        return _FunctionCtx(self, FunctionBuilder(name, params, kind))
+
+    def add(self, fn: Function) -> None:
+        """Add an already-built function."""
+        self._functions.append(fn)
+
+    def build(self, entry: str) -> Program:
+        """Finalize into a Program with the given entry point."""
+        return Program.build(self._functions, entry, self.metadata)
+
+
+class _FunctionCtx:
+    def __init__(self, pb: ProgramBuilder, fb: FunctionBuilder) -> None:
+        self._pb = pb
+        self._fb = fb
+
+    def __enter__(self) -> FunctionBuilder:
+        return self._fb
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        if exc_type is None:
+            self._pb.add(self._fb.build())

@@ -1,0 +1,94 @@
+"""Call-graph construction and recursion detection.
+
+The volume calculus (paper section 4.3) accumulates loop nests across the
+call tree and is only sound for non-recursive programs; the taint engine
+warns when recursion is present (section 4.1).  The call graph also feeds
+the static pruning phase, which must propagate "affected by parameters"
+facts from callees to callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..errors import IRError
+from .program import Program
+
+
+@dataclass
+class CallGraph:
+    """Directed call graph over the functions of one program.
+
+    Nodes are program-defined function names.  Calls to external (library)
+    routines are recorded separately in ``external_calls`` since they are
+    resolved through the library database, not the program.
+    """
+
+    graph: nx.DiGraph
+    external_calls: dict[str, frozenset[str]]
+
+    def callees(self, name: str) -> frozenset[str]:
+        """Program-defined functions called by *name*."""
+        return frozenset(self.graph.successors(name))
+
+    def callers(self, name: str) -> frozenset[str]:
+        """Program-defined functions that call *name*."""
+        return frozenset(self.graph.predecessors(name))
+
+    def externals_of(self, name: str) -> frozenset[str]:
+        """Library routines called by *name* (e.g. ``MPI_Allreduce``)."""
+        return self.external_calls.get(name, frozenset())
+
+    def recursive_functions(self) -> frozenset[str]:
+        """Functions participating in any call cycle (incl. self-recursion)."""
+        out: set[str] = set()
+        for scc in nx.strongly_connected_components(self.graph):
+            if len(scc) > 1:
+                out |= scc
+            else:
+                (only,) = scc
+                if self.graph.has_edge(only, only):
+                    out.add(only)
+        return frozenset(out)
+
+    @property
+    def has_recursion(self) -> bool:
+        """True when any recursion cycle exists."""
+        return bool(self.recursive_functions())
+
+    def topological_order(self) -> list[str]:
+        """Reverse-topological (callee-first) order; raises on recursion."""
+        try:
+            return list(reversed(list(nx.topological_sort(self.graph))))
+        except nx.NetworkXUnfeasible as exc:
+            raise IRError("call graph is cyclic (recursive program)") from exc
+
+    def reachable_from(self, entry: str) -> frozenset[str]:
+        """Functions reachable from *entry* (entry included)."""
+        if entry not in self.graph:
+            return frozenset()
+        return frozenset(nx.descendants(self.graph, entry)) | {entry}
+
+    def transitive_externals(self, entry: str) -> frozenset[str]:
+        """Library routines reachable (transitively) from *entry*."""
+        out: set[str] = set()
+        for fn in self.reachable_from(entry):
+            out |= self.externals_of(fn)
+        return frozenset(out)
+
+
+def build_callgraph(program: Program) -> CallGraph:
+    """Build the call graph of *program*."""
+    graph = nx.DiGraph()
+    external: dict[str, frozenset[str]] = {}
+    defined = program.defined_names()
+    for fn in program:
+        graph.add_node(fn.name)
+    for fn in program:
+        callees = fn.callees()
+        external[fn.name] = frozenset(callees - defined)
+        for callee in callees & defined:
+            graph.add_edge(fn.name, callee)
+    return CallGraph(graph, external)

@@ -1,0 +1,217 @@
+"""Control-flow graph construction.
+
+The structured IR is lowered into a classic basic-block CFG so that the
+natural-loop machinery from the paper (section 4.1, footnote 2: "our analysis
+computes how potential input parameters affect the iteration counts of all
+natural loops") runs on the same abstraction as the LLVM original:
+dominators, back edges, natural loops, reducibility.
+
+Lowering rules:
+
+* ``If`` becomes a condition block with a two-way terminator;
+* ``For`` becomes init block -> header (condition) -> body ... -> latch
+  (increment) -> header, exit edge from the header;
+* ``While`` becomes header (condition) -> body ... -> header;
+* ``Break``/``Continue``/``Return`` terminate their block with jumps to the
+  loop exit / loop latch (or header) / the function exit block.
+
+Header blocks record the AST ``loop_id`` so CFG-level loop analyses can be
+mapped back to taint sinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import IRError
+from .expr import Expr
+from .program import Function
+from .stmt import (
+    Assign,
+    Break,
+    Continue,
+    ExprStmt,
+    For,
+    If,
+    Return,
+    Stmt,
+    Store,
+    While,
+)
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line sequence of simple statements plus a terminator.
+
+    ``succs`` lists successor block ids.  ``kind`` tags structurally
+    meaningful blocks: ``"entry"``, ``"exit"``, ``"loop_header"``,
+    ``"latch"``, ``"cond"`` or ``""``.
+    """
+
+    bid: int
+    stmts: list[Stmt] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+    kind: str = ""
+    #: AST loop id when kind == "loop_header", else -1.
+    loop_id: int = -1
+    #: Condition expression for loop headers / cond blocks, else None.
+    cond: Expr | None = None
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function."""
+
+    function: str
+    blocks: dict[int, BasicBlock]
+    entry: int
+    exit: int
+
+    def preds(self, bid: int) -> list[int]:
+        """Predecessor block ids of *bid* (computed on demand)."""
+        return [b.bid for b in self.blocks.values() if bid in b.succs]
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All (src, dst) edges."""
+        out: list[tuple[int, int]] = []
+        for block in self.blocks.values():
+            for succ in block.succs:
+                out.append((block.bid, succ))
+        return out
+
+    def reachable(self) -> frozenset[int]:
+        """Block ids reachable from the entry."""
+        seen: set[int] = set()
+        stack = [self.entry]
+        while stack:
+            bid = stack.pop()
+            if bid in seen:
+                continue
+            seen.add(bid)
+            stack.extend(self.blocks[bid].succs)
+        return frozenset(seen)
+
+
+class _Lowerer:
+    """Stateful structured-AST -> CFG lowering."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.blocks: dict[int, BasicBlock] = {}
+        self._next = 0
+        self.entry = self._new("entry").bid
+        self.exit = self._new("exit").bid
+        # (continue_target, break_target) per enclosing loop
+        self._loop_stack: list[tuple[int, int]] = []
+
+    def _new(self, kind: str = "") -> BasicBlock:
+        block = BasicBlock(self._next, kind=kind)
+        self.blocks[self._next] = block
+        self._next += 1
+        return block
+
+    def _link(self, src: int, dst: int) -> None:
+        succs = self.blocks[src].succs
+        if dst not in succs:
+            succs.append(dst)
+
+    def lower(self, body: Sequence[Stmt]) -> CFG:
+        """Lower a function body, returning the finished CFG."""
+        last = self._lower_block(body, self.entry)
+        if last is not None:
+            self._link(last, self.exit)
+        return CFG(self.name, self.blocks, self.entry, self.exit)
+
+    def _lower_block(self, body: Sequence[Stmt], current: int) -> int | None:
+        """Lower statements into *current*; return the open trailing block
+        (or None if control never falls through)."""
+        cur: int | None = current
+        for stmt in body:
+            if cur is None:
+                # unreachable code after break/continue/return: still lower
+                # it into a fresh dangling block so analyses can warn.
+                cur = self._new().bid
+            cur = self._lower_stmt(stmt, cur)
+        return cur
+
+    def _lower_stmt(self, stmt: Stmt, cur: int) -> int | None:
+        if isinstance(stmt, (Assign, Store, ExprStmt)):
+            self.blocks[cur].stmts.append(stmt)
+            return cur
+        if isinstance(stmt, Return):
+            self.blocks[cur].stmts.append(stmt)
+            self._link(cur, self.exit)
+            return None
+        if isinstance(stmt, Break):
+            if not self._loop_stack:
+                raise IRError(f"'break' outside loop in function '{self.name}'")
+            self._link(cur, self._loop_stack[-1][1])
+            return None
+        if isinstance(stmt, Continue):
+            if not self._loop_stack:
+                raise IRError(f"'continue' outside loop in function '{self.name}'")
+            self._link(cur, self._loop_stack[-1][0])
+            return None
+        if isinstance(stmt, If):
+            cond_block = self.blocks[cur]
+            cond_block.stmts.append(ExprStmt(stmt.cond))
+            then_entry = self._new().bid
+            else_entry = self._new().bid
+            join = self._new().bid
+            self._link(cur, then_entry)
+            self._link(cur, else_entry)
+            then_exit = self._lower_block(stmt.then_body, then_entry)
+            else_exit = self._lower_block(stmt.else_body, else_entry)
+            if then_exit is not None:
+                self._link(then_exit, join)
+            if else_exit is not None:
+                self._link(else_exit, join)
+            return join
+        if isinstance(stmt, While):
+            header = self._new("loop_header")
+            header.loop_id = stmt.loop_id
+            header.cond = stmt.cond
+            body_entry = self._new().bid
+            exit_block = self._new().bid
+            self._link(cur, header.bid)
+            self._link(header.bid, body_entry)
+            self._link(header.bid, exit_block)
+            self._loop_stack.append((header.bid, exit_block))
+            body_exit = self._lower_block(stmt.body, body_entry)
+            self._loop_stack.pop()
+            if body_exit is not None:
+                self.blocks[body_exit].kind = self.blocks[body_exit].kind or "latch"
+                self._link(body_exit, header.bid)
+            return exit_block
+        if isinstance(stmt, For):
+            init = self.blocks[cur]
+            init.stmts.append(Assign(stmt.var, stmt.start))
+            header = self._new("loop_header")
+            header.loop_id = stmt.loop_id
+            from .expr import BinOp, Var
+
+            header.cond = BinOp("<", Var(stmt.var), stmt.stop)
+            body_entry = self._new().bid
+            latch = self._new("latch")
+            latch.stmts.append(
+                Assign(stmt.var, BinOp("+", Var(stmt.var), stmt.step))
+            )
+            exit_block = self._new().bid
+            self._link(cur, header.bid)
+            self._link(header.bid, body_entry)
+            self._link(header.bid, exit_block)
+            self._link(latch.bid, header.bid)
+            self._loop_stack.append((latch.bid, exit_block))
+            body_exit = self._lower_block(stmt.body, body_entry)
+            self._loop_stack.pop()
+            if body_exit is not None:
+                self._link(body_exit, latch.bid)
+            return exit_block
+        raise IRError(f"cannot lower statement {type(stmt).__name__}")
+
+
+def build_cfg(fn: Function) -> CFG:
+    """Lower *fn* into a basic-block control-flow graph."""
+    return _Lowerer(fn.name).lower(fn.body)

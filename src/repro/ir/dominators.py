@@ -1,0 +1,106 @@
+"""Dominator analysis over CFGs.
+
+Implements the Cooper–Harvey–Kennedy iterative algorithm ("A Simple, Fast
+Dominance Algorithm").  Dominators are the substrate of natural-loop
+detection (:mod:`repro.ir.loops`): an edge ``u -> v`` is a back edge iff
+``v`` dominates ``u``, and every natural loop in the paper's sense is the
+body of such a back edge.
+"""
+
+from __future__ import annotations
+
+from .cfg import CFG
+
+
+def _reverse_postorder(cfg: CFG) -> list[int]:
+    """Reverse postorder over reachable blocks, starting at the entry."""
+    seen: set[int] = set()
+    order: list[int] = []
+
+    # Iterative DFS with an explicit stack to avoid recursion limits on the
+    # large generated workloads (hundreds of functions, deep nests).
+    stack: list[tuple[int, int]] = [(cfg.entry, 0)]
+    seen.add(cfg.entry)
+    while stack:
+        bid, idx = stack[-1]
+        succs = cfg.blocks[bid].succs
+        if idx < len(succs):
+            stack[-1] = (bid, idx + 1)
+            nxt = succs[idx]
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append((nxt, 0))
+        else:
+            order.append(bid)
+            stack.pop()
+    order.reverse()
+    return order
+
+
+def immediate_dominators(cfg: CFG) -> dict[int, int]:
+    """Map each reachable block to its immediate dominator.
+
+    The entry maps to itself.  Unreachable blocks are omitted.
+    """
+    rpo = _reverse_postorder(cfg)
+    index = {bid: i for i, bid in enumerate(rpo)}
+    preds: dict[int, list[int]] = {bid: [] for bid in rpo}
+    for bid in rpo:
+        for succ in cfg.blocks[bid].succs:
+            if succ in index:
+                preds[succ].append(bid)
+
+    idom: dict[int, int] = {cfg.entry: cfg.entry}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for bid in rpo:
+            if bid == cfg.entry:
+                continue
+            candidates = [p for p in preds[bid] if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for p in candidates[1:]:
+                new_idom = intersect(new_idom, p)
+            if idom.get(bid) != new_idom:
+                idom[bid] = new_idom
+                changed = True
+    return idom
+
+
+def dominators(cfg: CFG) -> dict[int, frozenset[int]]:
+    """Map each reachable block to its full dominator set (including itself)."""
+    idom = immediate_dominators(cfg)
+    out: dict[int, frozenset[int]] = {}
+    for bid in idom:
+        doms = {bid}
+        cur = bid
+        while cur != cfg.entry:
+            cur = idom[cur]
+            doms.add(cur)
+        out[bid] = frozenset(doms)
+    return out
+
+
+def dominates(idom: dict[int, int], entry: int, a: int, b: int) -> bool:
+    """True iff block *a* dominates block *b* (per *idom* from *entry*)."""
+    cur = b
+    while True:
+        if cur == a:
+            return True
+        if cur == entry:
+            return a == entry
+        nxt = idom.get(cur)
+        if nxt is None or nxt == cur:
+            return a == cur
+        cur = nxt

@@ -1,0 +1,231 @@
+"""Expression nodes of the repro IR.
+
+The IR is a small, structured, imperative language that stands in for the
+LLVM IR used by the original Perf-Taint prototype.  Expressions are immutable
+trees; statements (:mod:`repro.ir.stmt`) reference them.  Every node supports
+``free_vars()`` (the set of variable names read) and structural equality,
+which the analyses and the interpreter fast paths rely on.
+
+Supported expression forms:
+
+``Const``
+    Literal int/float/bool.
+``Var``
+    Variable read.
+``BinOp`` / ``UnOp``
+    Arithmetic, comparison and logical operators.
+``Load``
+    Array element read ``a[i]``.
+``Call``
+    Call to a program function *or* a library routine (``MPI_*``).
+``Intrinsic``
+    Built-in operations with runtime support: cost sinks (``work``,
+    ``mem_work``), math helpers (``log2``, ``pow``, ``sqrt``, ``min``,
+    ``max``, ``floordiv``) and ``alloc`` for arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence, Union
+
+Number = Union[int, float, bool]
+
+#: Binary operators understood by the interpreter.
+BINARY_OPS = frozenset(
+    {
+        "+",
+        "-",
+        "*",
+        "/",
+        "//",
+        "%",
+        "<",
+        "<=",
+        ">",
+        ">=",
+        "==",
+        "!=",
+        "and",
+        "or",
+        "min",
+        "max",
+        "**",
+    }
+)
+
+#: Unary operators understood by the interpreter.
+UNARY_OPS = frozenset({"-", "not"})
+
+#: Intrinsics with runtime support.  ``work``/``mem_work`` are the cost sinks
+#: of the discrete-cost simulator (compute-bound and memory-bound volume,
+#: respectively); the rest are pure math helpers.
+INTRINSICS = frozenset(
+    {
+        "work",
+        "mem_work",
+        "log2",
+        "sqrt",
+        "abs",
+        "int",
+        "alloc",
+    }
+)
+
+#: Intrinsics that consume simulated time.
+COST_INTRINSICS = frozenset({"work", "mem_work"})
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    __slots__ = ()
+
+    def free_vars(self) -> frozenset[str]:
+        """Return the set of variable names read by this expression."""
+        raise NotImplementedError
+
+    def children(self) -> Sequence["Expr"]:
+        """Return direct sub-expressions (for generic walkers)."""
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["Expr"]:
+        """Yield this node and all descendants in pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal constant."""
+
+    value: Number
+
+    def free_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def children(self) -> Sequence[Expr]:
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Const({self.value!r})"
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A variable read."""
+
+    name: str
+
+    def free_vars(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def children(self) -> Sequence[Expr]:
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Var({self.name!r})"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A binary operation ``lhs op rhs``."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPS:
+            raise ValueError(f"unknown binary operator {self.op!r}")
+
+    def free_vars(self) -> frozenset[str]:
+        return self.lhs.free_vars() | self.rhs.free_vars()
+
+    def children(self) -> Sequence[Expr]:
+        return (self.lhs, self.rhs)
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    """A unary operation ``op operand``."""
+
+    op: str
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in UNARY_OPS:
+            raise ValueError(f"unknown unary operator {self.op!r}")
+
+    def free_vars(self) -> frozenset[str]:
+        return self.operand.free_vars()
+
+    def children(self) -> Sequence[Expr]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class Load(Expr):
+    """An array element read ``array[index]``."""
+
+    array: str
+    index: Expr
+
+    def free_vars(self) -> frozenset[str]:
+        return frozenset({self.array}) | self.index.free_vars()
+
+    def children(self) -> Sequence[Expr]:
+        return (self.index,)
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A call to a program function or a library routine.
+
+    The callee is resolved at run time: program functions take precedence,
+    then the library database (``MPI_*`` and friends).  Calls may appear as
+    expressions (value used) or wrapped in ``ExprStmt`` (value discarded).
+    """
+
+    callee: str
+    args: tuple[Expr, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def free_vars(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for a in self.args:
+            out |= a.free_vars()
+        return out
+
+    def children(self) -> Sequence[Expr]:
+        return self.args
+
+
+@dataclass(frozen=True)
+class Intrinsic(Expr):
+    """A built-in operation with direct runtime support."""
+
+    name: str
+    args: tuple[Expr, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.name not in INTRINSICS:
+            raise ValueError(f"unknown intrinsic {self.name!r}")
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def free_vars(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for a in self.args:
+            out |= a.free_vars()
+        return out
+
+    def children(self) -> Sequence[Expr]:
+        return self.args
+
+    @property
+    def is_cost(self) -> bool:
+        """True if this intrinsic consumes simulated time."""
+        return self.name in COST_INTRINSICS

@@ -1,0 +1,179 @@
+"""Natural-loop detection and the loop-nesting forest.
+
+Perf-Taint's analysis is defined over *natural loops* (paper section 4.1):
+single-header loops identified by back edges ``u -> v`` where ``v`` dominates
+``u``.  Irreducible control flow (a retreating edge into a block that does
+not dominate its source) is detected and reported, matching the paper's
+footnote 2 — such loops are out of scope and can be normalized by node
+splitting.
+
+The loop nesting forest drives the iteration-volume calculus of section 4.2:
+nesting multiplies counts, sequencing adds them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cfg import CFG, build_cfg
+from .dominators import dominates, immediate_dominators
+from .program import Function
+
+
+@dataclass
+class NaturalLoop:
+    """One natural loop of a CFG.
+
+    ``header`` is the single entry block; ``body`` the set of blocks in the
+    loop (header included); ``ast_loop_id`` links back to the structural
+    ``For``/``While`` that produced the header (or -1 if none).
+    """
+
+    header: int
+    body: frozenset[int]
+    back_edges: tuple[tuple[int, int], ...]
+    ast_loop_id: int = -1
+    parent: int | None = None  # index of parent loop in the forest list
+    children: list[int] = field(default_factory=list)
+
+    @property
+    def depth_key(self) -> int:
+        """Sort key: smaller bodies are more deeply nested."""
+        return len(self.body)
+
+
+@dataclass
+class LoopForest:
+    """All natural loops of one function plus their nesting relations."""
+
+    function: str
+    loops: list[NaturalLoop]
+    irreducible_edges: tuple[tuple[int, int], ...]
+
+    @property
+    def is_reducible(self) -> bool:
+        """True when no irreducible (non-natural) retreating edge exists."""
+        return not self.irreducible_edges
+
+    def roots(self) -> list[int]:
+        """Indices of top-level (outermost) loops."""
+        return [i for i, lp in enumerate(self.loops) if lp.parent is None]
+
+    def by_ast_id(self) -> dict[int, NaturalLoop]:
+        """Map AST loop ids to natural loops (only loops with known ids)."""
+        return {lp.ast_loop_id: lp for lp in self.loops if lp.ast_loop_id >= 0}
+
+    def nesting_depth(self, idx: int) -> int:
+        """1-based nesting depth of loop *idx*."""
+        depth = 1
+        cur = self.loops[idx].parent
+        while cur is not None:
+            depth += 1
+            cur = self.loops[cur].parent
+        return depth
+
+
+def _loop_body(cfg: CFG, header: int, tails: list[int]) -> frozenset[int]:
+    """Blocks of the natural loop with *header* and back-edge sources *tails*.
+
+    Standard algorithm: the body is header plus every block that can reach a
+    tail without passing through the header (walk predecessors backwards).
+    """
+    body: set[int] = {header}
+    stack = [t for t in tails if t != header]
+    body.update(stack)
+    preds: dict[int, list[int]] = {}
+    for src, dst in cfg.edges():
+        preds.setdefault(dst, []).append(src)
+    while stack:
+        node = stack.pop()
+        for pred in preds.get(node, ()):
+            if pred not in body:
+                body.add(pred)
+                stack.append(pred)
+    return frozenset(body)
+
+
+def find_natural_loops(cfg: CFG) -> LoopForest:
+    """Identify all natural loops of *cfg* and build the nesting forest."""
+    idom = immediate_dominators(cfg)
+    reachable = set(idom)
+
+    # Retreating edges: classify via DFS numbering (an edge to an ancestor in
+    # the DFS tree).  Back edges are retreating edges whose target dominates
+    # the source; the rest are irreducible entries.
+    back: dict[int, list[int]] = {}
+    irreducible: list[tuple[int, int]] = []
+    for src, dst in cfg.edges():
+        if src not in reachable or dst not in reachable:
+            continue
+        if dominates(idom, cfg.entry, dst, src):
+            back.setdefault(dst, []).append(src)
+        elif _is_retreating(cfg, src, dst):
+            irreducible.append((src, dst))
+
+    loops: list[NaturalLoop] = []
+    for header, tails in back.items():
+        body = _loop_body(cfg, header, tails)
+        ast_id = cfg.blocks[header].loop_id
+        loops.append(
+            NaturalLoop(
+                header=header,
+                body=body,
+                back_edges=tuple((t, header) for t in tails),
+                ast_loop_id=ast_id,
+            )
+        )
+
+    # Nesting: loop A is nested in B iff A.header in B.body and A != B.
+    # Sort by body size so parents (larger) come later; pick the smallest
+    # enclosing loop as parent.
+    order = sorted(range(len(loops)), key=lambda i: loops[i].depth_key)
+    for pos, i in enumerate(order):
+        inner = loops[i]
+        best: int | None = None
+        best_size = None
+        for j in order[pos + 1 :]:
+            outer = loops[j]
+            if inner.header in outer.body and inner.body <= outer.body:
+                if best_size is None or len(outer.body) < best_size:
+                    best = j
+                    best_size = len(outer.body)
+        if best is not None:
+            inner.parent = best
+            loops[best].children.append(i)
+
+    return LoopForest(cfg.function, loops, tuple(irreducible))
+
+
+def _is_retreating(cfg: CFG, src: int, dst: int) -> bool:
+    """True iff ``src -> dst`` is a retreating edge (dst is a DFS ancestor)."""
+    # DFS from entry, recording entry/exit times.
+    tin: dict[int, int] = {}
+    tout: dict[int, int] = {}
+    clock = 0
+    stack: list[tuple[int, int]] = [(cfg.entry, 0)]
+    tin[cfg.entry] = clock
+    clock += 1
+    while stack:
+        bid, idx = stack[-1]
+        succs = cfg.blocks[bid].succs
+        if idx < len(succs):
+            stack[-1] = (bid, idx + 1)
+            nxt = succs[idx]
+            if nxt not in tin:
+                tin[nxt] = clock
+                clock += 1
+                stack.append((nxt, 0))
+        else:
+            tout[bid] = clock
+            clock += 1
+            stack.pop()
+    if src not in tin or dst not in tin:
+        return False
+    return tin[dst] <= tin[src] and tout.get(src, 0) <= tout.get(dst, 0)
+
+
+def loop_forest(fn: Function) -> LoopForest:
+    """Convenience: CFG + natural loops for a structured function."""
+    return find_natural_loops(build_cfg(fn))

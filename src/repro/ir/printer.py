@@ -1,0 +1,139 @@
+"""Human-readable pretty printer for the repro IR.
+
+Programs print as a pseudo-C dialect, which makes taint reports and test
+failures legible.  The printer is purely cosmetic — no analysis depends on
+its output — but round stability (same program, same text) is tested.
+"""
+
+from __future__ import annotations
+
+from .expr import BinOp, Call, Const, Expr, Intrinsic, Load, UnOp, Var
+from .program import Function, Program
+from .stmt import (
+    Assign,
+    Break,
+    Continue,
+    ExprStmt,
+    For,
+    If,
+    Return,
+    Stmt,
+    Store,
+    While,
+)
+
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "//": 6,
+    "%": 6,
+    "**": 7,
+    "min": 8,
+    "max": 8,
+}
+
+
+def format_expr(expr: Expr, parent_prec: int = 0) -> str:
+    """Render *expr* with minimal parentheses."""
+    if isinstance(expr, Const):
+        return repr(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Load):
+        return f"{expr.array}[{format_expr(expr.index)}]"
+    if isinstance(expr, Call):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"{expr.callee}({args})"
+    if isinstance(expr, Intrinsic):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"@{expr.name}({args})"
+    if isinstance(expr, UnOp):
+        inner = format_expr(expr.operand, 9)
+        return f"(not {inner})" if expr.op == "not" else f"(-{inner})"
+    if isinstance(expr, BinOp):
+        prec = _PRECEDENCE[expr.op]
+        if expr.op in ("min", "max"):
+            return (
+                f"{expr.op}({format_expr(expr.lhs)}, {format_expr(expr.rhs)})"
+            )
+        text = (
+            f"{format_expr(expr.lhs, prec)} {expr.op} "
+            f"{format_expr(expr.rhs, prec + 1)}"
+        )
+        return f"({text})" if prec < parent_prec else text
+    raise TypeError(f"unknown expression {type(expr).__name__}")
+
+
+def _fmt_block(body: list[Stmt], indent: int) -> list[str]:
+    pad = "  " * indent
+    lines: list[str] = []
+    for stmt in body:
+        lines.extend(_fmt_stmt(stmt, indent))
+    if not body:
+        lines.append(f"{pad}pass")
+    return lines
+
+
+def _fmt_stmt(stmt: Stmt, indent: int) -> list[str]:
+    pad = "  " * indent
+    if isinstance(stmt, Assign):
+        return [f"{pad}{stmt.name} = {format_expr(stmt.value)}"]
+    if isinstance(stmt, Store):
+        return [
+            f"{pad}{stmt.array}[{format_expr(stmt.index)}] = "
+            f"{format_expr(stmt.value)}"
+        ]
+    if isinstance(stmt, ExprStmt):
+        return [f"{pad}{format_expr(stmt.expr)}"]
+    if isinstance(stmt, Return):
+        if stmt.value is None:
+            return [f"{pad}return"]
+        return [f"{pad}return {format_expr(stmt.value)}"]
+    if isinstance(stmt, Break):
+        return [f"{pad}break"]
+    if isinstance(stmt, Continue):
+        return [f"{pad}continue"]
+    if isinstance(stmt, If):
+        lines = [f"{pad}if {format_expr(stmt.cond)}:  # branch {stmt.branch_id}"]
+        lines.extend(_fmt_block(stmt.then_body, indent + 1))
+        if stmt.else_body:
+            lines.append(f"{pad}else:")
+            lines.extend(_fmt_block(stmt.else_body, indent + 1))
+        return lines
+    if isinstance(stmt, For):
+        head = (
+            f"{pad}for {stmt.var} in [{format_expr(stmt.start)} : "
+            f"{format_expr(stmt.stop)} : {format_expr(stmt.step)}]:"
+            f"  # loop {stmt.loop_id}"
+        )
+        return [head] + _fmt_block(stmt.body, indent + 1)
+    if isinstance(stmt, While):
+        head = f"{pad}while {format_expr(stmt.cond)}:  # loop {stmt.loop_id}"
+        return [head] + _fmt_block(stmt.body, indent + 1)
+    raise TypeError(f"unknown statement {type(stmt).__name__}")
+
+
+def format_function(fn: Function) -> str:
+    """Render one function."""
+    kind = f"  # kind={fn.kind}" if fn.kind else ""
+    head = f"def {fn.name}({', '.join(fn.params)}):{kind}"
+    return "\n".join([head] + _fmt_block(fn.body, 1))
+
+
+def format_program(program: Program) -> str:
+    """Render a whole program, entry function first."""
+    order = [program.entry] + sorted(
+        name for name in program.functions if name != program.entry
+    )
+    parts = [format_function(program.functions[name]) for name in order]
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,182 @@
+"""Statement nodes of the repro IR.
+
+Statements form structured control flow: straight-line assignments, ``If``
+branches, counted ``For`` loops, condition-controlled ``While`` loops,
+``Break``/``Continue``/``Return``.  Loops and branches carry unique ids
+(assigned when a :class:`repro.ir.program.Program` is finalized); the taint
+engine uses them as sink identities (paper sections 4.1 and 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from .expr import Expr
+
+
+class Stmt:
+    """Base class for all statement nodes."""
+
+    __slots__ = ()
+
+    def children_stmts(self) -> Sequence["Stmt"]:
+        """Return nested statements (loop/branch bodies)."""
+        return ()
+
+    def exprs(self) -> Sequence[Expr]:
+        """Return directly referenced expressions."""
+        return ()
+
+    def walk(self) -> Iterator["Stmt"]:
+        """Yield this statement and all nested statements in pre-order."""
+        yield self
+        for child in self.children_stmts():
+            yield from child.walk()
+
+
+@dataclass
+class Assign(Stmt):
+    """``name = value``."""
+
+    name: str
+    value: Expr
+
+    def exprs(self) -> Sequence[Expr]:
+        return (self.value,)
+
+
+@dataclass
+class Store(Stmt):
+    """``array[index] = value``."""
+
+    array: str
+    index: Expr
+    value: Expr
+
+    def exprs(self) -> Sequence[Expr]:
+        return (self.index, self.value)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """Evaluate an expression for effect (calls, cost intrinsics)."""
+
+    expr: Expr
+
+    def exprs(self) -> Sequence[Expr]:
+        return (self.expr,)
+
+
+@dataclass
+class If(Stmt):
+    """``if cond: then_body else: else_body``.
+
+    ``branch_id`` is assigned at program finalization and identifies this
+    branch in taint sink reports (algorithm-selection detection, paper 4.4).
+    """
+
+    cond: Expr
+    then_body: list[Stmt] = field(default_factory=list)
+    else_body: list[Stmt] = field(default_factory=list)
+    branch_id: int = -1
+
+    def children_stmts(self) -> Sequence[Stmt]:
+        return tuple(self.then_body) + tuple(self.else_body)
+
+    def exprs(self) -> Sequence[Expr]:
+        return (self.cond,)
+
+
+@dataclass
+class For(Stmt):
+    """Counted loop ``for var = start; var < stop; var += step``.
+
+    ``step`` must evaluate to a positive number at run time.  ``loop_id`` is
+    assigned at program finalization; the pair (function, loop_id) is a taint
+    sink identity.
+    """
+
+    var: str
+    start: Expr
+    stop: Expr
+    step: Expr
+    body: list[Stmt] = field(default_factory=list)
+    loop_id: int = -1
+
+    def children_stmts(self) -> Sequence[Stmt]:
+        return tuple(self.body)
+
+    def exprs(self) -> Sequence[Expr]:
+        return (self.start, self.stop, self.step)
+
+
+@dataclass
+class While(Stmt):
+    """Condition-controlled loop ``while cond: body``."""
+
+    cond: Expr
+    body: list[Stmt] = field(default_factory=list)
+    loop_id: int = -1
+
+    def children_stmts(self) -> Sequence[Stmt]:
+        return tuple(self.body)
+
+    def exprs(self) -> Sequence[Expr]:
+        return (self.cond,)
+
+
+@dataclass
+class Break(Stmt):
+    """Exit the innermost enclosing loop."""
+
+
+@dataclass
+class Continue(Stmt):
+    """Skip to the next iteration of the innermost enclosing loop."""
+
+
+@dataclass
+class Return(Stmt):
+    """Return from the current function (optionally with a value)."""
+
+    value: Expr | None = None
+
+    def exprs(self) -> Sequence[Expr]:
+        return (self.value,) if self.value is not None else ()
+
+
+def iter_loops(body: Sequence[Stmt]) -> Iterator[Stmt]:
+    """Yield every ``For``/``While`` statement nested anywhere in *body*."""
+    for stmt in body:
+        for node in stmt.walk():
+            if isinstance(node, (For, While)):
+                yield node
+
+
+def iter_branches(body: Sequence[Stmt]) -> Iterator[If]:
+    """Yield every ``If`` statement nested anywhere in *body*."""
+    for stmt in body:
+        for node in stmt.walk():
+            if isinstance(node, If):
+                yield node
+
+
+def assigned_names(body: Sequence[Stmt]) -> frozenset[str]:
+    """Names assigned (scalar or array element) anywhere in *body*.
+
+    Used by the taint engine's optional implicit-flow mode: when a tainted
+    branch is *not* taken, variables that the skipped body would have
+    assigned still carry an implicit dependence on the branch condition
+    (paper section 3.2, label ``c`` example).
+    """
+    names: set[str] = set()
+    for stmt in body:
+        for node in stmt.walk():
+            if isinstance(node, Assign):
+                names.add(node.name)
+            elif isinstance(node, Store):
+                names.add(node.array)
+            elif isinstance(node, For):
+                names.add(node.var)
+    return frozenset(names)

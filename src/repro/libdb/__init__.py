@@ -1,0 +1,12 @@
+"""Global-state library database (paper section 5.3)."""
+
+from .database import LibraryDatabase, LibraryEntry
+from .mpi_models import IMPLICIT_RANKS_PARAM, MPI_DATABASE, mpi_database
+
+__all__ = [
+    "IMPLICIT_RANKS_PARAM",
+    "LibraryDatabase",
+    "LibraryEntry",
+    "MPI_DATABASE",
+    "mpi_database",
+]

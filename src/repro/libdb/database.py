@@ -1,0 +1,98 @@
+"""The global-state library database (paper section 5.3).
+
+Loop-based kernels are not the only channel through which parameters affect
+performance: library routines (a) receive tainted arguments, (b) receive
+the parameter explicitly, or (c) hide the parameter in their runtime.  The
+database solves (b) and (c) by describing, per routine:
+
+* **implicit parameters** its performance depends on (every MPI routine
+  depends on the communicator size ``p``);
+* **source semantics** — values it returns that carry implicit parameters
+  (``MPI_Comm_size`` is a source of ``p``-labeled data);
+* **count arguments** whose taint labels become additional parametric
+  dependencies of the call site ("we query the taint labels associated
+  with the count argument ... and add them as additional parametric
+  dependencies", 5.3);
+* **relevance** — whether the routine is performance-relevant at all
+  (``MPI_Comm_rank`` is a constant-time query; treating it as relevant is
+  exactly the false-positive the paper's B1 experiment corrects).
+
+The database implements the
+:class:`~repro.taint.sources.LibraryTaintModel` protocol consumed by the
+taint engine, and is user-extensible via :meth:`LibraryDatabase.register`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..interp.values import Value
+from ..taint.sources import LibraryTaintEffect
+
+
+@dataclass(frozen=True)
+class LibraryEntry:
+    """Taint/performance description of one library routine."""
+
+    name: str
+    #: Implicit parameters the routine's performance depends on.
+    implicit_params: frozenset[str] = frozenset()
+    #: Implicit parameters carried by the routine's return value.
+    source_params: frozenset[str] = frozenset()
+    #: Indices of arguments whose labels join the call's dependencies
+    #: (message counts / sizes).
+    count_args: tuple[int, ...] = ()
+    #: False for constant-time queries that should never appear in models.
+    performance_relevant: bool = True
+
+
+@dataclass
+class LibraryDatabase:
+    """A set of :class:`LibraryEntry` records, keyed by routine name."""
+
+    entries: dict[str, LibraryEntry] = field(default_factory=dict)
+
+    def register(self, entry: LibraryEntry) -> None:
+        """Add or replace a routine description."""
+        self.entries[entry.name] = entry
+
+    def get(self, name: str) -> LibraryEntry | None:
+        """Entry for routine *name*, or None."""
+        return self.entries.get(name)
+
+    def relevant_routines(self) -> frozenset[str]:
+        """Names of performance-relevant routines."""
+        return frozenset(
+            n for n, e in self.entries.items() if e.performance_relevant
+        )
+
+    def is_relevant(self, name: str) -> bool:
+        """Predicate usable by the static pruning phase."""
+        entry = self.entries.get(name)
+        return entry is not None and entry.performance_relevant
+
+    # -- LibraryTaintModel protocol --------------------------------------
+
+    def handles(self, routine: str) -> bool:
+        """True when the database describes *routine*."""
+        return routine in self.entries
+
+    def effect(
+        self,
+        routine: str,
+        args: Sequence[Value],
+        arg_params: Sequence[frozenset[str]],
+    ) -> LibraryTaintEffect:
+        """Taint effect of one invocation (see LibraryTaintModel)."""
+        entry = self.entries[routine]
+        deps: frozenset[str] = frozenset()
+        if entry.performance_relevant:
+            deps = entry.implicit_params
+            for idx in entry.count_args:
+                if idx < len(arg_params):
+                    deps |= arg_params[idx]
+        return LibraryTaintEffect(
+            return_label_params=entry.source_params,
+            dependency_params=deps,
+        )

@@ -1,0 +1,67 @@
+"""The MPI library database shipped with Perf-Taint (paper section 5.3).
+
+"We declare the implicit parameter ``p``, which denotes the size of the
+global communicator, and we include the function ``MPI_Comm_size`` as a
+source of tainted values. ... We derive parametric dependencies for MPI
+communication and synchronization routines from precise analytical models."
+
+Dependency summary (matching :mod:`repro.mpisim.collectives`):
+
+* queries (``MPI_Comm_size``, ``MPI_Comm_rank``, ``MPI_Wtime``) —
+  constant-time, **not** performance relevant; ``MPI_Comm_size`` is a
+  *source* of ``p``.
+* point-to-point (``MPI_Send``/``Recv``/``Isend``/``Irecv``/``Wait``) —
+  implicit dependence on ``p`` plus the labels of the count argument.
+* collectives — implicit ``p`` plus count labels.
+"""
+
+from __future__ import annotations
+
+from .database import LibraryDatabase, LibraryEntry
+
+#: Name of the implicit communicator-size parameter.
+IMPLICIT_RANKS_PARAM = "p"
+
+
+def mpi_database() -> LibraryDatabase:
+    """Build the standard MPI library database."""
+    db = LibraryDatabase()
+    p = frozenset({IMPLICIT_RANKS_PARAM})
+
+    # Constant-time queries.
+    db.register(
+        LibraryEntry(
+            "MPI_Comm_size",
+            source_params=p,
+            performance_relevant=False,
+        )
+    )
+    db.register(LibraryEntry("MPI_Comm_rank", performance_relevant=False))
+    db.register(LibraryEntry("MPI_Wtime", performance_relevant=False))
+    db.register(LibraryEntry("MPI_Init", performance_relevant=False))
+    db.register(LibraryEntry("MPI_Finalize", performance_relevant=False))
+
+    # Point-to-point: depends on p (network conditions / neighborhood) and
+    # on the message size (count argument at index 0).
+    for name in ("MPI_Send", "MPI_Recv", "MPI_Isend", "MPI_Irecv"):
+        db.register(
+            LibraryEntry(name, implicit_params=p, count_args=(0,))
+        )
+    db.register(LibraryEntry("MPI_Wait", implicit_params=p, count_args=(0,)))
+
+    # Collectives with (value, count) calling convention.
+    for name in ("MPI_Bcast", "MPI_Reduce", "MPI_Allreduce"):
+        db.register(
+            LibraryEntry(name, implicit_params=p, count_args=(1,))
+        )
+    # Collectives with (count) calling convention.
+    for name in ("MPI_Allgather", "MPI_Gather", "MPI_Scatter", "MPI_Alltoall"):
+        db.register(
+            LibraryEntry(name, implicit_params=p, count_args=(0,))
+        )
+    db.register(LibraryEntry("MPI_Barrier", implicit_params=p))
+    return db
+
+
+#: Shared default instance.
+MPI_DATABASE = mpi_database()

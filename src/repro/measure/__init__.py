@@ -1,0 +1,70 @@
+"""Measurement substrate: noise, instrumentation, profiling, experiments."""
+
+from .experiment import (
+    ConfigKey,
+    ExperimentRunner,
+    Measurements,
+    RunSetup,
+    Workload,
+    config_key,
+    full_factorial,
+    one_at_a_time,
+)
+from .instrumentation import (
+    DEFAULT_OVERHEAD_PER_CALL,
+    InstrumentationMode,
+    InstrumentationPlan,
+    default_filter_plan,
+    full_plan,
+    none_plan,
+    taint_filter_plan,
+)
+from .io import (
+    load_measurements,
+    measurements_from_dict,
+    measurements_to_dict,
+    model_from_dict,
+    model_to_dict,
+    save_measurements,
+)
+from .noise import GaussianNoise, NoNoise, NoiseModel, rng_for
+from .profiler import (
+    APP_KEY,
+    ProfileNode,
+    ProfileResult,
+    ScorePListener,
+    profile_run,
+)
+
+__all__ = [
+    "APP_KEY",
+    "ConfigKey",
+    "DEFAULT_OVERHEAD_PER_CALL",
+    "ExperimentRunner",
+    "GaussianNoise",
+    "InstrumentationMode",
+    "InstrumentationPlan",
+    "Measurements",
+    "NoNoise",
+    "NoiseModel",
+    "ProfileNode",
+    "ProfileResult",
+    "RunSetup",
+    "ScorePListener",
+    "Workload",
+    "config_key",
+    "default_filter_plan",
+    "full_factorial",
+    "full_plan",
+    "load_measurements",
+    "measurements_from_dict",
+    "measurements_to_dict",
+    "model_from_dict",
+    "model_to_dict",
+    "none_plan",
+    "one_at_a_time",
+    "profile_run",
+    "rng_for",
+    "save_measurements",
+    "taint_filter_plan",
+]

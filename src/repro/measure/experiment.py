@@ -1,0 +1,228 @@
+"""Experiment configurations, designs, and the measurement runner.
+
+An experiment sweeps a set of model parameters over value lists (paper
+Table 2: 5x5 grids for LULESH/MILC), runs the profiled program per
+configuration, and collects *repetitions* of noisy per-function timings
+(5 in the paper, 125 measurements total for a 25-point design).
+
+The runner executes each configuration **once** (the simulator is
+deterministic) and derives repetitions by sampling the noise model with
+per-(function, configuration, repetition) RNG streams — equivalent to
+repeating the run, at a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Iterable, Mapping, Protocol, Sequence
+
+import numpy as np
+
+from ..errors import DesignError
+from ..interp.config import DEFAULT_CONFIG, ExecConfig
+from ..interp.runtime import LibraryRuntime
+from ..interp.values import Value
+from ..ir.program import Program
+from ..mpisim.contention import ContentionModel, NoContention
+from .instrumentation import InstrumentationPlan
+from .noise import GaussianNoise, NoiseModel, rng_for
+from .profiler import APP_KEY, ProfileResult, profile_run
+
+ConfigKey = tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class RunSetup:
+    """Everything needed to execute one configuration."""
+
+    args: Mapping[str, Value]
+    runtime: LibraryRuntime | None = None
+    ranks_per_node: int = 1
+    exec_config: ExecConfig = DEFAULT_CONFIG
+    entry: str | None = None
+
+
+class Workload(Protocol):
+    """A modelable application: fixed program, configurable execution."""
+
+    name: str
+    #: Model parameter names, in canonical order (e.g. ("p", "size")).
+    parameters: tuple[str, ...]
+
+    def program(self) -> Program:
+        """The (configuration-independent) program structure."""
+
+    def setup(self, config: Mapping[str, float]) -> RunSetup:
+        """Execution setup for one parameter configuration."""
+
+    def taint_config(self) -> dict[str, float]:
+        """A small, representative configuration for the taint run
+        (the paper uses LULESH size=5 on 8 ranks; MILC size=128 on 32)."""
+
+    def sources(self) -> dict[str, str]:
+        """Entry-argument -> label mapping for explicitly marked
+        parameters (implicit parameters like ``p`` come from the library
+        database)."""
+
+
+def full_factorial(
+    parameter_values: Mapping[str, Sequence[float]]
+) -> list[dict[str, float]]:
+    """All combinations of the given per-parameter value lists."""
+    names = list(parameter_values)
+    if not names:
+        raise DesignError("empty design")
+    combos = product(*(parameter_values[n] for n in names))
+    return [dict(zip(names, combo)) for combo in combos]
+
+
+def one_at_a_time(
+    parameter_values: Mapping[str, Sequence[float]],
+    base: Mapping[str, float] | None = None,
+) -> list[dict[str, float]]:
+    """Sweep each parameter alone, holding others at their smallest value.
+
+    Valid when all dependencies are additive-only (paper section A2): the
+    design size drops from a product to a sum of the value-list lengths.
+    """
+    names = list(parameter_values)
+    if not names:
+        raise DesignError("empty design")
+    baseline = {
+        n: (base[n] if base and n in base else min(parameter_values[n]))
+        for n in names
+    }
+    configs: list[dict[str, float]] = [dict(baseline)]
+    seen = {tuple(sorted(baseline.items()))}
+    for name in names:
+        for value in parameter_values[name]:
+            cfg = dict(baseline)
+            cfg[name] = value
+            key = tuple(sorted(cfg.items()))
+            if key not in seen:
+                seen.add(key)
+                configs.append(cfg)
+    return configs
+
+
+def config_key(parameters: Sequence[str], config: Mapping[str, float]) -> ConfigKey:
+    """Canonical hashable key of a configuration."""
+    return tuple(float(config[p]) for p in parameters)
+
+
+@dataclass
+class Measurements:
+    """Measured per-function times of one experiment.
+
+    ``data[function][config_key]`` is the list of repeated measurements;
+    ``APP_KEY`` holds whole-application times.  Configuration keys follow
+    the order of ``parameters``.
+    """
+
+    parameters: tuple[str, ...]
+    data: dict[str, dict[ConfigKey, list[float]]] = field(default_factory=dict)
+    #: Per-configuration call counts (function -> key -> calls per run).
+    calls: dict[str, dict[ConfigKey, int]] = field(default_factory=dict)
+
+    def add(self, function: str, key: ConfigKey, value: float) -> None:
+        self.data.setdefault(function, {}).setdefault(key, []).append(value)
+
+    def functions(self) -> list[str]:
+        """Measured functions (APP_KEY excluded), sorted."""
+        return sorted(n for n in self.data if n != APP_KEY)
+
+    def configs(self) -> list[ConfigKey]:
+        """All configuration keys present, sorted."""
+        keys: set[ConfigKey] = set()
+        for per_fn in self.data.values():
+            keys.update(per_fn)
+        return sorted(keys)
+
+    def points(self, function: str) -> tuple[np.ndarray, np.ndarray]:
+        """(X, y): configuration matrix and mean measured times."""
+        per_fn = self.data.get(function, {})
+        keys = sorted(per_fn)
+        X = np.array(keys, dtype=float).reshape(len(keys), len(self.parameters))
+        y = np.array([float(np.mean(per_fn[k])) for k in keys])
+        return X, y
+
+    def repetitions(self, function: str, key: ConfigKey) -> list[float]:
+        """Raw repeated measurements of one configuration."""
+        return list(self.data.get(function, {}).get(key, []))
+
+    def max_cov(self, function: str) -> float:
+        """Largest coefficient of variation across configurations.
+
+        The paper's B1 screening keeps only functions with CoV <= 0.1
+        everywhere ("values with a coefficient of variance larger than 0.1
+        ... are too affected by noise to be reliable").
+        """
+        worst = 0.0
+        for values in self.data.get(function, {}).values():
+            arr = np.asarray(values, dtype=float)
+            mean = arr.mean()
+            if mean > 0 and len(arr) > 1:
+                worst = max(worst, float(arr.std(ddof=1) / mean))
+        return worst
+
+    def reliable_functions(self, cov_threshold: float = 0.1) -> list[str]:
+        """Functions passing the CoV screen."""
+        return [
+            fn
+            for fn in self.functions()
+            if self.max_cov(fn) <= cov_threshold
+        ]
+
+
+@dataclass
+class ExperimentRunner:
+    """Runs a design against a workload under one instrumentation plan."""
+
+    workload: Workload
+    plan: InstrumentationPlan
+    noise: NoiseModel = field(default_factory=GaussianNoise)
+    contention: ContentionModel = field(default_factory=NoContention)
+    repetitions: int = 5
+    seed: int = 0
+
+    def run(
+        self, design: Iterable[Mapping[str, float]]
+    ) -> tuple[Measurements, dict[ConfigKey, ProfileResult]]:
+        """Execute every configuration; return measurements and profiles."""
+        program = self.workload.program()
+        parameters = tuple(self.workload.parameters)
+        measurements = Measurements(parameters=parameters)
+        profiles: dict[ConfigKey, ProfileResult] = {}
+
+        for config in design:
+            key = config_key(parameters, config)
+            setup = self.workload.setup(config)
+            factor = self.contention.factor(setup.ranks_per_node)
+            profile = profile_run(
+                program,
+                setup.args,
+                self.plan,
+                runtime=setup.runtime,
+                exec_config=setup.exec_config,
+                contention_factor=factor,
+                entry=setup.entry,
+            )
+            profiles[key] = profile
+
+            flat = profile.flat()
+            for name, node in flat.items():
+                if not name:
+                    continue
+                base = node.time(factor)
+                measurements.calls.setdefault(name, {})[key] = node.calls
+                for rep in range(self.repetitions):
+                    rng = rng_for(self.seed, name, key, rep)
+                    measurements.add(name, key, self.noise.perturb(base, rng))
+            app_base = profile.total_time()
+            for rep in range(self.repetitions):
+                rng = rng_for(self.seed, APP_KEY, key, rep)
+                measurements.add(
+                    APP_KEY, key, self.noise.perturb(app_base, rng)
+                )
+        return measurements, profiles

@@ -1,0 +1,127 @@
+"""Instrumentation modes and filters (paper section A3).
+
+The simulated Score-P charges a fixed overhead per *instrumented* call
+(event creation, timestamping, call-path bookkeeping).  Which functions are
+instrumented is the difference between the paper's three modes:
+
+* **full** — every function: sound but catastrophic on accessor-heavy C++
+  code (Figure 3: up to 45x slowdown on LULESH);
+* **default filter** — Score-P's heuristic skips functions it expects the
+  compiler to inline (small bodies).  Cheap, but it "instruments less than
+  half of the performance-relevant functions" while keeping constant
+  helpers, and misses compact kernels like ``CalcQForElems`` entirely
+  (false negatives, section B2);
+* **taint filter** — instrument exactly the functions the taint analysis
+  marks as parameter-dependent: negligible overhead, no false negatives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..ir.program import Program
+from ..ir.stmt import For, While
+from ..staticanalysis.prune import StaticReport
+from ..taint.report import TaintReport
+
+
+class InstrumentationMode(str, Enum):
+    """The three instrumentation strategies compared in Figures 3 and 4."""
+
+    FULL = "full"
+    DEFAULT_FILTER = "default"
+    TAINT_FILTER = "taint"
+    NONE = "none"
+
+
+#: Default per-call instrumentation overhead, in simulated cost units
+#: (~0.5 µs of event processing per enter/exit pair at ~1 ns units —
+#: consistent with Score-P's measured per-visit overhead).
+DEFAULT_OVERHEAD_PER_CALL = 500.0
+
+
+@dataclass(frozen=True)
+class InstrumentationPlan:
+    """Which functions are instrumented, and what each call costs extra."""
+
+    mode: InstrumentationMode
+    functions: frozenset[str]
+    overhead_per_call: float = DEFAULT_OVERHEAD_PER_CALL
+
+    def is_instrumented(self, function: str) -> bool:
+        return function in self.functions
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+
+def full_plan(
+    program: Program, overhead: float = DEFAULT_OVERHEAD_PER_CALL
+) -> InstrumentationPlan:
+    """Instrument every program function (plus library routines, which are
+    always visible to the measurement system like Score-P's MPI adapter)."""
+    return InstrumentationPlan(
+        InstrumentationMode.FULL,
+        frozenset(program.functions),
+        overhead,
+    )
+
+
+def default_filter_plan(
+    program: Program,
+    overhead: float = DEFAULT_OVERHEAD_PER_CALL,
+    max_inline_statements: int = 8,
+) -> InstrumentationPlan:
+    """Score-P's default heuristic: skip functions small enough that the
+    compiler would likely inline them.
+
+    The heuristic is size-based, not relevance-based: a compact kernel
+    containing one loop may be skipped (false negative) while a large
+    constant helper stays instrumented.  A function is kept when its body
+    has more than *max_inline_statements* statements.  Functions containing
+    loops with many statements survive; compact loop kernels do not —
+    mirroring the failure mode of section B2.
+    """
+    kept: set[str] = set()
+    for fn in program:
+        stmt_count = sum(1 for _ in fn.statements())
+        if stmt_count > max_inline_statements:
+            kept.add(fn.name)
+    return InstrumentationPlan(
+        InstrumentationMode.DEFAULT_FILTER, frozenset(kept), overhead
+    )
+
+
+def taint_filter_plan(
+    program: Program,
+    taint: TaintReport,
+    static: StaticReport | None = None,
+    overhead: float = DEFAULT_OVERHEAD_PER_CALL,
+) -> InstrumentationPlan:
+    """Instrument only parameter-dependent functions (paper section A3).
+
+    A function is instrumented iff the taint analysis found a parameter
+    dependency in its loops or in the library calls it issues.  Statically
+    pruned functions can never qualify (their models are constants), so the
+    static report only serves as a sanity cross-check here.
+    """
+    relevant = set(taint.tainted_functions())
+    if static is not None:
+        relevant -= static.pruned_functions() - taint.tainted_functions()
+    return InstrumentationPlan(
+        InstrumentationMode.TAINT_FILTER, frozenset(relevant), overhead
+    )
+
+
+def none_plan() -> InstrumentationPlan:
+    """No instrumentation: the native run used as the overhead baseline."""
+    return InstrumentationPlan(InstrumentationMode.NONE, frozenset(), 0.0)
+
+
+def has_loops(program: Program, function: str) -> bool:
+    """True when *function* contains any loop (helper for filter tests)."""
+    return any(
+        isinstance(stmt, (For, While))
+        for stmt in program.function(function).statements()
+    )

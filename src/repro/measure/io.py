@@ -1,0 +1,124 @@
+"""Serialization of measurements and models.
+
+Extra-P consumes measurement archives (Cube files / JSON line formats);
+this module provides the equivalent for the repro pipeline so experiments
+can be measured once, stored, and re-modeled offline:
+
+* :func:`save_measurements` / :func:`load_measurements` — JSON round trip
+  of a :class:`~repro.measure.experiment.Measurements` container;
+* :func:`model_to_dict` / :func:`model_from_dict` — JSON-able fitted
+  models (terms, coefficients, statistics).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import MeasurementError
+from ..modeling.hypothesis import Model, ModelStats
+from ..modeling.terms import TermSpec
+from .experiment import Measurements
+
+FORMAT_VERSION = 1
+
+
+def measurements_to_dict(measurements: Measurements) -> dict:
+    """JSON-able representation of a measurements container."""
+    return {
+        "version": FORMAT_VERSION,
+        "parameters": list(measurements.parameters),
+        "data": {
+            fn: [
+                {"config": list(key), "values": list(map(float, values))}
+                for key, values in sorted(per_fn.items())
+            ]
+            for fn, per_fn in measurements.data.items()
+        },
+        "calls": {
+            fn: [
+                {"config": list(key), "calls": int(calls)}
+                for key, calls in sorted(per_fn.items())
+            ]
+            for fn, per_fn in measurements.calls.items()
+        },
+    }
+
+
+def measurements_from_dict(payload: Mapping) -> Measurements:
+    """Inverse of :func:`measurements_to_dict`."""
+    if payload.get("version") != FORMAT_VERSION:
+        raise MeasurementError(
+            f"unsupported measurements format version "
+            f"{payload.get('version')!r}"
+        )
+    out = Measurements(parameters=tuple(payload["parameters"]))
+    for fn, entries in payload["data"].items():
+        for entry in entries:
+            key = tuple(float(v) for v in entry["config"])
+            if len(key) != len(out.parameters):
+                raise MeasurementError(
+                    f"configuration arity mismatch for '{fn}'"
+                )
+            for value in entry["values"]:
+                out.add(fn, key, float(value))
+    for fn, entries in payload.get("calls", {}).items():
+        for entry in entries:
+            key = tuple(float(v) for v in entry["config"])
+            out.calls.setdefault(fn, {})[key] = int(entry["calls"])
+    return out
+
+
+def save_measurements(measurements: Measurements, path: "str | pathlib.Path") -> None:
+    """Write measurements as JSON."""
+    pathlib.Path(path).write_text(
+        json.dumps(measurements_to_dict(measurements), indent=1)
+    )
+
+
+def load_measurements(path: "str | pathlib.Path") -> Measurements:
+    """Read measurements from JSON."""
+    return measurements_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# models
+
+
+def model_to_dict(model: Model) -> dict:
+    """JSON-able representation of a fitted model."""
+    return {
+        "parameters": list(model.parameters),
+        "terms": [
+            [[float(i), int(j)] for i, j in term.exponents]
+            for term in model.terms
+        ],
+        "coefficients": [float(c) for c in model.coefficients],
+        "stats": {
+            "rss": model.stats.rss,
+            "smape": model.stats.smape,
+            "r_squared": model.stats.r_squared,
+            "n_points": model.stats.n_points,
+            "n_coefficients": model.stats.n_coefficients,
+        },
+        "metadata": dict(model.metadata),
+    }
+
+
+def model_from_dict(payload: Mapping) -> Model:
+    """Inverse of :func:`model_to_dict`."""
+    terms = tuple(
+        TermSpec(tuple((float(i), int(j)) for i, j in exps))
+        for exps in payload["terms"]
+    )
+    stats = ModelStats(**payload["stats"])
+    return Model(
+        parameters=tuple(payload["parameters"]),
+        terms=terms,
+        coefficients=np.asarray(payload["coefficients"], dtype=float),
+        stats=stats,
+        metadata=dict(payload.get("metadata", {})),
+    )

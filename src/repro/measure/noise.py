@@ -1,0 +1,73 @@
+"""Measurement noise models.
+
+Empirical modeling suffers from "random noise and ... systemic interference"
+(paper section 4.5).  Crucially, "disturbances disproportionately affect
+regions of code with short runtimes" — noise has an *absolute* floor
+component (OS jitter, timer resolution, measurement hooks) that dwarfs a
+getter's nanoseconds while being invisible on a second-long kernel.  That
+asymmetry is what makes black-box Extra-P fit spurious parametric models to
+constant functions (section B1); we reproduce it with a two-component
+model:
+
+    measured = base * (1 + eps_rel) + |eps_abs|
+    eps_rel ~ N(0, relative_sigma),  eps_abs ~ N(0, absolute_sigma)
+
+Deterministic seeding: every (function, configuration, repetition) triple
+derives its own RNG stream, so experiments are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+
+class NoiseModel(Protocol):
+    """Perturbs a true simulated time into a measured time."""
+
+    def perturb(self, base: float, rng: np.random.Generator) -> float:
+        """One noisy measurement of *base*."""
+
+
+@dataclass(frozen=True)
+class NoNoise:
+    """Ideal measurement (used to establish ground truth)."""
+
+    def perturb(self, base: float, rng: np.random.Generator) -> float:  # noqa: D102
+        return base
+
+
+@dataclass(frozen=True)
+class GaussianNoise:
+    """Relative + absolute-floor Gaussian noise (default).
+
+    ``relative_sigma`` — multiplicative component (fraction of base).
+    ``absolute_sigma`` — additive floor in cost units; dominates short
+    functions and is negligible for long ones.
+    """
+
+    relative_sigma: float = 0.02
+    absolute_sigma: float = 200.0
+
+    def perturb(self, base: float, rng: np.random.Generator) -> float:  # noqa: D102
+        rel = rng.normal(0.0, self.relative_sigma)
+        absn = abs(rng.normal(0.0, self.absolute_sigma))
+        return max(0.0, base * (1.0 + rel) + absn)
+
+
+def rng_for(
+    seed: int, function: str, config_key: tuple, repetition: int
+) -> np.random.Generator:
+    """Deterministic per-measurement RNG stream.
+
+    The stream is derived by hashing the experiment seed with the function
+    name, the configuration, and the repetition index, so adding functions
+    or configurations never reshuffles other measurements.
+    """
+    digest = hashlib.sha256(
+        repr((seed, function, config_key, repetition)).encode()
+    ).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))

@@ -1,0 +1,214 @@
+"""Simulated Score-P: call-path profiling with instrumentation overhead.
+
+The profiler is an execution listener that attributes simulated cost to the
+*nearest instrumented ancestor* on the call stack — exactly the visibility
+a binary-instrumentation profiler has: uninstrumented functions' time folds
+into their caller, and every instrumented call pays the per-visit event
+overhead.  MPI routines are always visible (Score-P's MPI adapter wraps
+them independently of the compiler filter).
+
+The rank-per-node memory-contention factor (paper section C1) is applied
+when querying times: ``time = compute + memory * factor + comm + overhead``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..interp.config import DEFAULT_CONFIG, ExecConfig
+from ..interp.events import CostKind, NullListener
+from ..interp.interpreter import Interpreter
+from ..interp.runtime import LibraryRuntime
+from ..interp.values import Value
+from ..ir.program import Program
+from .instrumentation import InstrumentationPlan
+
+CallPath = tuple[str, ...]
+
+#: Reserved name for whole-application time in measurement containers.
+APP_KEY = "<<app>>"
+
+
+@dataclass
+class ProfileNode:
+    """Exclusive metrics of one instrumented call path."""
+
+    callpath: CallPath
+    calls: int = 0
+    compute: float = 0.0
+    memory: float = 0.0
+    comm: float = 0.0
+    overhead: float = 0.0
+
+    def time(self, contention_factor: float = 1.0) -> float:
+        """Exclusive time including overhead, under memory contention."""
+        return (
+            self.compute
+            + self.memory * contention_factor
+            + self.comm
+            + self.overhead
+        )
+
+    def base_time(self, contention_factor: float = 1.0) -> float:
+        """Exclusive time without instrumentation overhead."""
+        return self.compute + self.memory * contention_factor + self.comm
+
+    @property
+    def function(self) -> str:
+        """The function this node belongs to ('' for the root)."""
+        return self.callpath[-1] if self.callpath else ""
+
+
+@dataclass
+class ProfileResult:
+    """Outcome of one profiled run."""
+
+    plan: InstrumentationPlan
+    nodes: dict[CallPath, ProfileNode]
+    contention_factor: float = 1.0
+    #: (function, loop_id) -> iterations, from the metered run.
+    loop_iterations: dict[tuple[str, int], int] = field(default_factory=dict)
+
+    def total_time(self) -> float:
+        """Whole-application measured time (overhead included)."""
+        return sum(n.time(self.contention_factor) for n in self.nodes.values())
+
+    def base_total_time(self) -> float:
+        """Whole-application time without instrumentation overhead."""
+        return sum(
+            n.base_time(self.contention_factor) for n in self.nodes.values()
+        )
+
+    def overhead_time(self) -> float:
+        """Total instrumentation overhead of the run."""
+        return sum(n.overhead for n in self.nodes.values())
+
+    def flat(self) -> dict[str, ProfileNode]:
+        """Per-function aggregation over call paths (the view Extra-P
+        models by default when call paths agree)."""
+        out: dict[str, ProfileNode] = {}
+        for node in self.nodes.values():
+            name = node.function
+            agg = out.get(name)
+            if agg is None:
+                agg = ProfileNode((name,) if name else ())
+                out[name] = agg
+            agg.calls += node.calls
+            agg.compute += node.compute
+            agg.memory += node.memory
+            agg.comm += node.comm
+            agg.overhead += node.overhead
+        return out
+
+    def function_time(self, name: str) -> float:
+        """Flat exclusive time of *name* (0.0 when not visible)."""
+        node = self.flat().get(name)
+        return node.time(self.contention_factor) if node else 0.0
+
+    def visible_functions(self) -> frozenset[str]:
+        """Functions appearing in the profile."""
+        return frozenset(
+            n.function for n in self.nodes.values() if n.function
+        )
+
+
+class ScorePListener(NullListener):
+    """The profiling listener (one per run)."""
+
+    def __init__(self, plan: InstrumentationPlan) -> None:
+        self.plan = plan
+        self.nodes: dict[CallPath, ProfileNode] = {}
+        # Full call stack of (name, visible) pairs.
+        self._stack: list[tuple[str, bool]] = []
+        # Cached visible path.
+        self._visible_path: CallPath = ()
+
+    # -- helpers -----------------------------------------------------------
+
+    def _is_visible(self, function: str) -> bool:
+        return self.plan.is_instrumented(function) or function.startswith(
+            "MPI_"
+        )
+
+    def _node(self, path: CallPath) -> ProfileNode:
+        node = self.nodes.get(path)
+        if node is None:
+            node = ProfileNode(path)
+            self.nodes[path] = node
+        return node
+
+    # -- listener ----------------------------------------------------------
+
+    def on_enter(self, function: str) -> None:
+        visible = self._is_visible(function)
+        self._stack.append((function, visible))
+        if visible:
+            # Score-P's enter hook runs before the callee's timestamp and
+            # the exit hook after it: half the per-visit overhead lands in
+            # the caller's measured span, half in the callee's.  This
+            # split is what lets instrumentation *qualitatively* distort
+            # caller models (paper B2).
+            half = self.plan.overhead_per_call / 2.0
+            caller = self._node(self._visible_path)
+            caller.overhead += half
+            self._visible_path = self._visible_path + (function,)
+            node = self._node(self._visible_path)
+            node.calls += 1
+            node.overhead += half
+
+    def on_exit(self, function: str) -> None:
+        if not self._stack:
+            return
+        name, visible = self._stack.pop()
+        if visible:
+            self._visible_path = self._visible_path[:-1]
+
+    def on_cost(self, kind: CostKind, amount: float) -> None:
+        node = self._node(self._visible_path)
+        if kind is CostKind.COMPUTE:
+            node.compute += amount
+        elif kind is CostKind.MEMORY:
+            node.memory += amount
+        else:
+            node.comm += amount
+
+    def on_aggregate_calls(
+        self, callee: str, count: int, unit_compute: float, unit_memory: float
+    ) -> None:
+        if self._is_visible(callee):
+            half = self.plan.overhead_per_call / 2.0
+            caller = self._node(self._visible_path)
+            caller.overhead += count * half
+            node = self._node(self._visible_path + (callee,))
+            node.calls += count
+            node.compute += count * unit_compute
+            node.memory += count * unit_memory
+            node.overhead += count * half
+        else:
+            node = self._node(self._visible_path)
+            node.compute += count * unit_compute
+            node.memory += count * unit_memory
+
+
+def profile_run(
+    program: Program,
+    args: Mapping[str, Value],
+    plan: InstrumentationPlan,
+    runtime: LibraryRuntime | None = None,
+    exec_config: ExecConfig = DEFAULT_CONFIG,
+    contention_factor: float = 1.0,
+    entry: str | None = None,
+) -> ProfileResult:
+    """Execute *program* once under *plan* and return its profile."""
+    listener = ScorePListener(plan)
+    interp = Interpreter(
+        program, runtime=runtime, config=exec_config, listener=listener
+    )
+    result = interp.run(args, entry=entry)
+    return ProfileResult(
+        plan=plan,
+        nodes=listener.nodes,
+        contention_factor=contention_factor,
+        loop_iterations=dict(result.metrics.loop_iterations),
+    )

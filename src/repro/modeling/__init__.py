@@ -1,0 +1,65 @@
+"""Empirical performance modeling: an Extra-P re-implementation.
+
+PMNF terms and hypotheses (paper Eq. 1), single-parameter search over the
+paper's I/J exponent sets, the fast multi-parameter heuristic, and the
+:class:`Modeler` facade with white-box :class:`SearchPrior` support.
+"""
+
+from .hypothesis import (
+    Model,
+    ModelStats,
+    fit_constant,
+    fit_hypothesis,
+    smape,
+)
+from .crossval import compare_models, kfold_smape, loocv_smape
+from .modeler import Modeler, SearchPrior
+from .multiparam import (
+    NO_RESTRICTIONS,
+    TermRestrictions,
+    generate_hypotheses,
+    search_multi_parameter,
+)
+from .search import (
+    DEFAULT_SEARCH,
+    SearchConfig,
+    best_terms_for_parameter,
+    search_single_parameter,
+)
+from .terms import (
+    DEFAULT_I,
+    DEFAULT_J,
+    DEFAULT_N_TERMS,
+    TermSpec,
+    candidate_terms,
+    product_term,
+    single_param_term,
+)
+
+__all__ = [
+    "DEFAULT_I",
+    "DEFAULT_J",
+    "DEFAULT_N_TERMS",
+    "DEFAULT_SEARCH",
+    "Model",
+    "ModelStats",
+    "Modeler",
+    "NO_RESTRICTIONS",
+    "SearchConfig",
+    "SearchPrior",
+    "TermRestrictions",
+    "TermSpec",
+    "best_terms_for_parameter",
+    "candidate_terms",
+    "compare_models",
+    "fit_constant",
+    "fit_hypothesis",
+    "generate_hypotheses",
+    "kfold_smape",
+    "loocv_smape",
+    "product_term",
+    "search_multi_parameter",
+    "search_single_parameter",
+    "single_param_term",
+    "smape",
+]

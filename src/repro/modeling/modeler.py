@@ -1,0 +1,122 @@
+"""The Extra-P-style modeler facade.
+
+:class:`Modeler` fits PMNF models to measurements; a :class:`SearchPrior`
+(built by the Perf-Taint core from taint results) optionally constrains the
+search:
+
+* ``forced_constant`` — the taint analysis proved no parameter affects the
+  function: skip the search, emit the mean ("pruning out parametric models
+  for constant functions", paper 4.5);
+* ``allowed_params`` — only these parameters may appear in terms
+  ("removing parameters that could not affect performance", section 5);
+* ``multiplicative_pairs`` — products only for parameter pairs the volume
+  analysis found nested (section A2).
+
+Without a prior, the modeler is the black-box baseline the paper compares
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelingError
+from .hypothesis import Model, fit_constant
+from .multiparam import (
+    NO_RESTRICTIONS,
+    TermRestrictions,
+    search_multi_parameter,
+)
+from .search import DEFAULT_SEARCH, SearchConfig, search_single_parameter
+
+
+@dataclass(frozen=True)
+class SearchPrior:
+    """White-box knowledge injected into the model search."""
+
+    forced_constant: bool = False
+    allowed_params: frozenset[str] | None = None
+    multiplicative_pairs: frozenset[frozenset[str]] | None = None
+
+    @classmethod
+    def constant(cls) -> "SearchPrior":
+        return cls(forced_constant=True)
+
+    @classmethod
+    def black_box(cls) -> "SearchPrior":
+        """No restrictions (the baseline modeler)."""
+        return cls()
+
+    def restrictions(self) -> TermRestrictions:
+        return TermRestrictions(
+            allowed_params=self.allowed_params,
+            multiplicative_pairs=self.multiplicative_pairs,
+        )
+
+
+@dataclass
+class Modeler:
+    """Fits PMNF models, optionally under a white-box prior."""
+
+    config: SearchConfig = DEFAULT_SEARCH
+
+    def model(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        parameters: tuple[str, ...],
+        prior: SearchPrior | None = None,
+    ) -> Model:
+        """Fit the best model of measurements ``y(X)``.
+
+        *X* is an (n_points x n_parameters) configuration matrix aligned
+        with *parameters*; *y* are mean measured times.
+        """
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        if X.shape[1] != len(parameters):
+            raise ModelingError(
+                f"X has {X.shape[1]} columns but {len(parameters)} "
+                "parameters were named"
+            )
+        if X.shape[0] != y.shape[0]:
+            raise ModelingError("X and y disagree on the number of points")
+        if y.size == 0:
+            raise ModelingError("cannot model zero measurements")
+
+        prior = prior or SearchPrior.black_box()
+        if prior.forced_constant:
+            model = fit_constant(X, y, parameters)
+            model.metadata["prior"] = "constant"
+            return model
+
+        restrictions = prior.restrictions()
+        if restrictions.allowed_params is not None:
+            usable = [
+                p for p in parameters if p in restrictions.allowed_params
+            ]
+            if not usable:
+                model = fit_constant(X, y, parameters)
+                model.metadata["prior"] = "constant"
+                return model
+
+        if len(parameters) == 1:
+            if restrictions.allowed_params is not None and not restrictions.param_allowed(parameters[0]):
+                model = fit_constant(X, y, parameters)
+                model.metadata["prior"] = "constant"
+                return model
+            model = search_single_parameter(
+                X[:, 0], y, parameters[0], self.config
+            )
+        else:
+            model = search_multi_parameter(
+                X, y, parameters, self.config, restrictions
+            )
+        model.metadata["prior"] = (
+            "black-box" if prior == SearchPrior.black_box() else "taint"
+        )
+        return model

@@ -1,0 +1,122 @@
+"""Single-parameter model search.
+
+Enumerates PMNF hypotheses over one parameter (constant, one-term, and
+two-term combinations of the I x J candidate terms) and selects the best
+by residual error with a mild parsimony bias — close to Extra-P 3.0's
+behaviour, which is deliberately permissive: under noise it will happily
+prefer a spurious parametric model over the true constant, which is the
+failure mode the paper's taint prior eliminates (section B1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from .hypothesis import Model, fit_constant, fit_hypothesis
+from .terms import (
+    DEFAULT_I,
+    DEFAULT_J,
+    DEFAULT_N_TERMS,
+    TermSpec,
+    candidate_terms,
+)
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Knobs of the hypothesis search."""
+
+    i_set: tuple = DEFAULT_I
+    j_set: tuple = DEFAULT_J
+    n_terms: int = DEFAULT_N_TERMS
+    #: Relative improvement a larger hypothesis must deliver over a smaller
+    #: one to be preferred (Extra-P-style mild parsimony).
+    improvement_threshold: float = 1e-4
+    #: Reject hypotheses with non-positive term coefficients.
+    require_nonnegative: bool = True
+
+
+DEFAULT_SEARCH = SearchConfig()
+
+
+def _better(candidate: Model, incumbent: Model, threshold: float) -> bool:
+    """Does *candidate* beat *incumbent* under the parsimony rule?
+
+    Smaller RSS wins; a hypothesis with more coefficients must improve RSS
+    by at least *threshold* relatively to displace a smaller one.
+    """
+    if candidate.stats.n_coefficients > incumbent.stats.n_coefficients:
+        if incumbent.stats.rss <= 0:
+            return False
+        gain = (incumbent.stats.rss - candidate.stats.rss) / incumbent.stats.rss
+        return gain > threshold
+    if candidate.stats.n_coefficients < incumbent.stats.n_coefficients:
+        if candidate.stats.rss <= 0:
+            return True
+        loss = (candidate.stats.rss - incumbent.stats.rss) / candidate.stats.rss
+        return loss <= threshold
+    return candidate.stats.rss < incumbent.stats.rss
+
+
+def search_single_parameter(
+    x: np.ndarray,
+    y: np.ndarray,
+    parameter: str,
+    config: SearchConfig = DEFAULT_SEARCH,
+) -> Model:
+    """Best single-parameter PMNF model of measurements ``y(x)``."""
+    X = np.asarray(x, dtype=float).reshape(-1, 1)
+    y = np.asarray(y, dtype=float)
+    params = (parameter,)
+    best = fit_constant(X, y, params)
+    candidates = candidate_terms(1, 0, config.i_set, config.j_set)
+    fitted_single: list[tuple[TermSpec, Model]] = []
+    for term in candidates:
+        model = fit_hypothesis(
+            X, y, params, (term,), config.require_nonnegative
+        )
+        if model is None:
+            continue
+        fitted_single.append((term, model))
+        if _better(model, best, config.improvement_threshold):
+            best = model
+    if config.n_terms >= 2:
+        # Restrict pair enumeration to the most promising single terms so
+        # the search stays near Extra-P's "under a thousand" hypotheses.
+        fitted_single.sort(key=lambda tm: tm[1].stats.rss)
+        shortlist = [t for t, _ in fitted_single[:16]]
+        for t1, t2 in combinations(shortlist, 2):
+            model = fit_hypothesis(
+                X, y, params, (t1, t2), config.require_nonnegative
+            )
+            if model is not None and _better(
+                model, best, config.improvement_threshold
+            ):
+                best = model
+    return best
+
+
+def best_terms_for_parameter(
+    x: np.ndarray,
+    y: np.ndarray,
+    parameter: str,
+    config: SearchConfig = DEFAULT_SEARCH,
+    top_k: int = 3,
+) -> list[TermSpec]:
+    """The strongest single-parameter candidate terms (for the
+    multi-parameter heuristic).  Always includes the best model's terms."""
+    X = np.asarray(x, dtype=float).reshape(-1, 1)
+    y = np.asarray(y, dtype=float)
+    params = (parameter,)
+    scored: list[tuple[float, TermSpec]] = []
+    for term in candidate_terms(1, 0, config.i_set, config.j_set):
+        model = fit_hypothesis(
+            X, y, params, (term,), config.require_nonnegative
+        )
+        if model is not None:
+            scored.append((model.stats.rss, term))
+    scored.sort(key=lambda st: st[0])
+    return [term for _rss, term in scored[:top_k]]

@@ -1,0 +1,156 @@
+"""Performance Model Normal Form terms (paper Equation 1).
+
+A PMNF model is ``f(x) = c0 + sum_k c_k * prod_l x_l^{i_kl} * log2(x_l)^{j_kl}``.
+A :class:`TermSpec` is one product ``prod_l x_l^{i_l} * log2(x_l)^{j_l}``;
+the model search chooses exponents from the paper's sets:
+
+    I = {0/4, 1/4, 1/3, 2/4, 2/3, 3/4, 4/4, 5/4, 4/3, 6/4, 5/3, 7/4,
+         8/4, 9/4, 10/4, 8/3, 11/4, 12/4}
+    J = {0, 1, 2},   n = 2 terms
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+#: Polynomial exponents of the paper's default search space.
+DEFAULT_I: tuple[Fraction, ...] = tuple(
+    Fraction(n, d)
+    for n, d in (
+        (0, 4),
+        (1, 4),
+        (1, 3),
+        (2, 4),
+        (2, 3),
+        (3, 4),
+        (4, 4),
+        (5, 4),
+        (4, 3),
+        (6, 4),
+        (5, 3),
+        (7, 4),
+        (8, 4),
+        (9, 4),
+        (10, 4),
+        (8, 3),
+        (11, 4),
+        (12, 4),
+    )
+)
+
+#: Logarithm exponents of the default search space.
+DEFAULT_J: tuple[int, ...] = (0, 1, 2)
+
+#: Number of non-constant terms in the default normal form.
+DEFAULT_N_TERMS: int = 2
+
+
+@dataclass(frozen=True)
+class TermSpec:
+    """One PMNF product term over an ordered parameter tuple.
+
+    ``exponents[l] = (i_l, j_l)`` — polynomial and log2 exponent of the
+    l-th parameter.  Parameters with (0, 0) do not appear in the term.
+    """
+
+    exponents: tuple[tuple[float, int], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "exponents",
+            tuple((float(i), int(j)) for i, j in self.exponents),
+        )
+
+    @property
+    def is_trivial(self) -> bool:
+        """True for the all-zero term (a constant)."""
+        return all(i == 0 and j == 0 for i, j in self.exponents)
+
+    def uses(self) -> frozenset[int]:
+        """Indices of parameters appearing in the term."""
+        return frozenset(
+            l for l, (i, j) in enumerate(self.exponents) if i != 0 or j != 0
+        )
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        """Evaluate the term on configuration matrix ``X`` (n x m)."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        out = np.ones(X.shape[0])
+        for l, (i, j) in enumerate(self.exponents):
+            col = X[:, l]
+            if i != 0:
+                out = out * np.power(col, i)
+            if j != 0:
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    logs = np.where(col > 0, np.log2(np.maximum(col, 1e-300)), 0.0)
+                out = out * np.power(logs, j)
+        return out
+
+    def format(self, names: tuple[str, ...]) -> str:
+        """Human-readable rendering, e.g. ``p^0.5 * log2(size)^2``."""
+        parts: list[str] = []
+        for l, (i, j) in enumerate(self.exponents):
+            name = names[l] if l < len(names) else f"x{l}"
+            if i != 0:
+                parts.append(name if i == 1 else f"{name}^{_fmt_exp(i)}")
+            if j != 0:
+                parts.append(
+                    f"log2({name})" if j == 1 else f"log2({name})^{j}"
+                )
+        return " * ".join(parts) if parts else "1"
+
+
+def _fmt_exp(value: float) -> str:
+    frac = Fraction(value).limit_denominator(24)
+    if frac.denominator == 1:
+        return str(frac.numerator)
+    return f"{float(value):g}"
+
+
+def single_param_term(
+    index: int, n_params: int, i: float, j: int
+) -> TermSpec:
+    """A term touching only parameter *index* of *n_params*."""
+    exps = [(0.0, 0)] * n_params
+    exps[index] = (float(i), int(j))
+    return TermSpec(tuple(exps))
+
+
+def product_term(terms: "list[TermSpec]") -> TermSpec:
+    """Multiply single-parameter terms into one multi-parameter term.
+
+    Exponents add; terms must share the same parameter arity.
+    """
+    if not terms:
+        raise ValueError("empty product")
+    n = len(terms[0].exponents)
+    exps = [[0.0, 0] for _ in range(n)]
+    for term in terms:
+        if len(term.exponents) != n:
+            raise ValueError("terms have mismatched parameter arity")
+        for l, (i, j) in enumerate(term.exponents):
+            exps[l][0] += i
+            exps[l][1] += j
+    return TermSpec(tuple((i, int(j)) for i, j in exps))
+
+
+def candidate_terms(
+    n_params: int,
+    param_index: int,
+    i_set: tuple = DEFAULT_I,
+    j_set: tuple = DEFAULT_J,
+) -> list[TermSpec]:
+    """All single-parameter candidate terms for one parameter."""
+    out: list[TermSpec] = []
+    for i in i_set:
+        for j in j_set:
+            if float(i) == 0 and j == 0:
+                continue  # the constant is always present separately
+            out.append(single_param_term(param_index, n_params, float(i), j))
+    return out

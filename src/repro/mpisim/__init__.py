@@ -1,0 +1,49 @@
+"""Simulated MPI substrate: analytic network/collective cost models,
+rank-per-node memory contention, and the ``MPI_*`` library runtime."""
+
+from .collectives import (
+    COLLECTIVE_FAMILIES,
+    allgather_cost,
+    allreduce_cost,
+    alltoall_cost,
+    barrier_cost,
+    bcast_cost,
+    gather_cost,
+    reduce_cost,
+    scatter_cost,
+    sendrecv_cost,
+)
+from .contention import (
+    DEFAULT_CONTENTION,
+    BandwidthSaturationContention,
+    ContentionModel,
+    LogQuadraticContention,
+    NoContention,
+)
+from .network import DEFAULT_NETWORK, NetworkModel
+from .runtime import MPIConfig, MPIRuntime
+from .spmd import SPMDResult, SPMDSimulator
+
+__all__ = [
+    "BandwidthSaturationContention",
+    "COLLECTIVE_FAMILIES",
+    "ContentionModel",
+    "DEFAULT_CONTENTION",
+    "DEFAULT_NETWORK",
+    "LogQuadraticContention",
+    "MPIConfig",
+    "MPIRuntime",
+    "SPMDResult",
+    "SPMDSimulator",
+    "NetworkModel",
+    "NoContention",
+    "allgather_cost",
+    "allreduce_cost",
+    "alltoall_cost",
+    "barrier_cost",
+    "bcast_cost",
+    "gather_cost",
+    "reduce_cost",
+    "scatter_cost",
+    "sendrecv_cost",
+]

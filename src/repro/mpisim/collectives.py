@@ -1,0 +1,101 @@
+"""Analytical cost models of MPI collective algorithms.
+
+Standard algorithm costs after Thakur, Rabenseifner & Gropp ("Optimization
+of Collective Communication Operations in MPICH") and Hoefler & Moor —
+the same sources the paper's library database cites (section 5.3).  Each
+function maps (communicator size ``p``, element ``count``, network model)
+to a simulated cost.
+
+All costs are per-rank critical-path costs of one invocation; the simulated
+SPMD execution charges them to the calling rank.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .network import NetworkModel
+
+
+def _log2p(p: int) -> float:
+    return math.ceil(math.log2(p)) if p > 1 else 0.0
+
+
+def bcast_cost(p: int, count: float, net: NetworkModel) -> float:
+    """Binomial-tree broadcast: ceil(log2 p) * (alpha + n*beta)."""
+    n = net.message_bytes(count)
+    return _log2p(p) * (net.latency + n * net.byte_cost)
+
+
+def reduce_cost(p: int, count: float, net: NetworkModel) -> float:
+    """Binomial-tree reduce: ceil(log2 p) * (alpha + n*beta + n*gamma)."""
+    n = net.message_bytes(count)
+    return _log2p(p) * (
+        net.latency + n * net.byte_cost + n * net.reduce_cost
+    )
+
+
+def allreduce_cost(p: int, count: float, net: NetworkModel) -> float:
+    """Recursive-doubling allreduce: log2(p) * (alpha + n*beta + n*gamma)."""
+    n = net.message_bytes(count)
+    return _log2p(p) * (
+        net.latency + n * net.byte_cost + n * net.reduce_cost
+    )
+
+
+def allgather_cost(p: int, count: float, net: NetworkModel) -> float:
+    """Ring allgather: (p-1)*alpha + ((p-1)/p) * n_total * beta.
+
+    ``count`` is the per-rank contribution; n_total = p * count elements.
+    """
+    if p <= 1:
+        return 0.0
+    n_total = net.message_bytes(count) * p
+    return (p - 1) * net.latency + ((p - 1) / p) * n_total * net.byte_cost
+
+
+def gather_cost(p: int, count: float, net: NetworkModel) -> float:
+    """Binomial gather: log2(p)*alpha + ((p-1)/p) * n_total * beta."""
+    if p <= 1:
+        return 0.0
+    n_total = net.message_bytes(count) * p
+    return _log2p(p) * net.latency + ((p - 1) / p) * n_total * net.byte_cost
+
+
+def scatter_cost(p: int, count: float, net: NetworkModel) -> float:
+    """Binomial scatter: same cost structure as gather."""
+    return gather_cost(p, count, net)
+
+
+def alltoall_cost(p: int, count: float, net: NetworkModel) -> float:
+    """Pairwise-exchange alltoall: (p-1) * (alpha + n*beta)."""
+    if p <= 1:
+        return 0.0
+    n = net.message_bytes(count)
+    return (p - 1) * (net.latency + n * net.byte_cost)
+
+
+def barrier_cost(p: int, net: NetworkModel) -> float:
+    """Dissemination barrier: ceil(log2 p) * alpha."""
+    return _log2p(p) * net.latency
+
+
+def sendrecv_cost(count: float, net: NetworkModel) -> float:
+    """Point-to-point message cost (either side)."""
+    return net.ptp_cost(count)
+
+
+#: Asymptotic parameter dependencies of each collective, as the library
+#: database records them (section 5.3): every routine depends on the
+#: implicit parameter ``p``; count-dependent routines additionally inherit
+#: the taint labels of their count argument.
+COLLECTIVE_FAMILIES: dict[str, str] = {
+    "bcast": "log(p)",
+    "reduce": "log(p)",
+    "allreduce": "log(p)",
+    "allgather": "p",
+    "gather": "p",
+    "scatter": "p",
+    "alltoall": "p",
+    "barrier": "log(p)",
+}

@@ -1,0 +1,46 @@
+"""Analytic network model (Hockney alpha–beta with LogGP-style gap).
+
+The paper derives MPI routine dependencies "from precise analytical models"
+(section 5.3, citing Hoefler/Moor and Thakur et al.); this module supplies
+those models' machine parameters.  Costs are in the interpreter's simulated
+cost units (~1 ns); defaults approximate a commodity cluster interconnect
+(1 µs latency, 10 GB/s bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Machine parameters of the alpha-beta(-gamma) cost model.
+
+    ``latency``  — alpha, per-message startup cost (cost units).
+    ``byte_cost`` — beta, per-byte transfer cost (cost units / byte).
+    ``reduce_cost`` — gamma, per-byte local reduction cost.
+    ``datatype_bytes`` — default element size for count-based routines.
+    """
+
+    latency: float = 1000.0
+    byte_cost: float = 0.1
+    reduce_cost: float = 0.02
+    datatype_bytes: int = 8
+
+    def message_bytes(self, count: float) -> float:
+        """Bytes of a *count*-element message with the default datatype."""
+        return max(0.0, float(count)) * self.datatype_bytes
+
+    def ptp_cost(self, count: float) -> float:
+        """Point-to-point send/recv cost: alpha + n*beta."""
+        return self.latency + self.message_bytes(count) * self.byte_cost
+
+    def with_latency(self, latency: float) -> "NetworkModel":
+        """Copy with a different startup latency."""
+        return NetworkModel(
+            latency, self.byte_cost, self.reduce_cost, self.datatype_bytes
+        )
+
+
+#: Default interconnect used by the workloads and benchmarks.
+DEFAULT_NETWORK = NetworkModel()

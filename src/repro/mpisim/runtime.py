@@ -1,0 +1,185 @@
+"""Simulated MPI runtime: the library-runtime implementation for ``MPI_*``.
+
+The simulator models an SPMD execution from the perspective of one rank
+(symmetric ranks, as in the paper's benchmarks): ``MPI_Comm_size`` returns
+the configured communicator size, point-to-point and collective routines
+charge their analytical critical-path costs (:mod:`.collectives`), and
+values flow through unchanged (reductions return their input — sufficient
+because the workloads' control flow does not depend on reduced values
+except via counts, which are rank-symmetric).
+
+The paper's taint concern about cross-process label exchange (section 5.3)
+does not arise: all ranks are symmetric, so labels computed on the
+simulated rank are representative — the same argument the paper makes for
+not needing MPI taint exchange on its applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import InterpreterError
+from ..interp.events import CostKind
+from ..interp.runtime import LibraryCall
+from ..interp.values import Value
+from .collectives import (
+    allgather_cost,
+    allreduce_cost,
+    alltoall_cost,
+    barrier_cost,
+    bcast_cost,
+    gather_cost,
+    reduce_cost,
+    scatter_cost,
+    sendrecv_cost,
+)
+from .network import DEFAULT_NETWORK, NetworkModel
+
+
+@dataclass(frozen=True)
+class MPIConfig:
+    """Configuration of one simulated MPI execution."""
+
+    #: Communicator size (the implicit parameter ``p``).
+    ranks: int = 1
+    #: MPI ranks co-located per node (the contention variable ``r``).
+    ranks_per_node: int = 1
+    #: Interconnect parameters.
+    network: NetworkModel = DEFAULT_NETWORK
+    #: Rank whose execution is simulated.
+    rank: int = 0
+
+
+def _count(args: Sequence[Value], index: int, routine: str) -> float:
+    if len(args) <= index:
+        raise InterpreterError(
+            f"{routine} expects a count argument at position {index}"
+        )
+    value = args[index]
+    if not isinstance(value, (int, float)):
+        raise InterpreterError(f"{routine} count must be numeric")
+    return float(value)
+
+
+@dataclass
+class MPIRuntime:
+    """LibraryRuntime implementation for the ``MPI_*`` surface.
+
+    Calling conventions (value-style, not out-pointer-style):
+
+    ========================  =========================================
+    ``MPI_Comm_size()``       returns p
+    ``MPI_Comm_rank()``       returns the simulated rank
+    ``MPI_Send(count)``       p2p send of *count* elements
+    ``MPI_Recv(count)``       p2p receive
+    ``MPI_Isend(count)``, ``MPI_Irecv(count)``, ``MPI_Wait()``
+    ``MPI_Bcast(value, count)``     returns *value*
+    ``MPI_Reduce(value, count)``    returns *value*
+    ``MPI_Allreduce(value, count)`` returns *value*
+    ``MPI_Allgather(count)``, ``MPI_Gather(count)``,
+    ``MPI_Scatter(count)``, ``MPI_Alltoall(count)``, ``MPI_Barrier()``
+    ``MPI_Wtime()``           returns 0.0 (use metrics for time)
+    ========================  =========================================
+    """
+
+    config: MPIConfig = field(default_factory=MPIConfig)
+    #: Number of invocations per routine (introspection for tests).
+    call_counts: dict[str, int] = field(default_factory=dict)
+
+    def handles(self, name: str) -> bool:  # noqa: D102
+        return name.startswith("MPI_") and hasattr(
+            self, "_" + name[4:].lower()
+        )
+
+    def call(self, name: str, args: Sequence[Value]) -> LibraryCall:  # noqa: D102
+        self.call_counts[name] = self.call_counts.get(name, 0) + 1
+        handler = getattr(self, "_" + name[4:].lower(), None)
+        if handler is None:
+            raise InterpreterError(f"MPI runtime does not implement {name}")
+        return handler(args)
+
+    # -- queries -----------------------------------------------------------
+
+    def _comm_size(self, args: Sequence[Value]) -> LibraryCall:
+        return LibraryCall(value=self.config.ranks)
+
+    def _comm_rank(self, args: Sequence[Value]) -> LibraryCall:
+        return LibraryCall(value=self.config.rank)
+
+    def _wtime(self, args: Sequence[Value]) -> LibraryCall:
+        return LibraryCall(value=0.0)
+
+    def _init(self, args: Sequence[Value]) -> LibraryCall:
+        return LibraryCall()
+
+    def _finalize(self, args: Sequence[Value]) -> LibraryCall:
+        return LibraryCall()
+
+    # -- point-to-point ------------------------------------------------------
+
+    def _send(self, args: Sequence[Value]) -> LibraryCall:
+        count = _count(args, 0, "MPI_Send")
+        return LibraryCall.comm(sendrecv_cost(count, self.config.network))
+
+    def _recv(self, args: Sequence[Value]) -> LibraryCall:
+        count = _count(args, 0, "MPI_Recv")
+        return LibraryCall.comm(sendrecv_cost(count, self.config.network))
+
+    def _isend(self, args: Sequence[Value]) -> LibraryCall:
+        # Non-blocking: startup cost now, transfer overlaps; we charge the
+        # startup here and the remainder at the matching wait.
+        return LibraryCall.comm(self.config.network.latency)
+
+    def _irecv(self, args: Sequence[Value]) -> LibraryCall:
+        return LibraryCall.comm(self.config.network.latency)
+
+    def _wait(self, args: Sequence[Value]) -> LibraryCall:
+        count = _count(args, 0, "MPI_Wait") if args else 0.0
+        net = self.config.network
+        return LibraryCall.comm(net.message_bytes(count) * net.byte_cost)
+
+    # -- collectives -------------------------------------------------------
+
+    def _bcast(self, args: Sequence[Value]) -> LibraryCall:
+        count = _count(args, 1, "MPI_Bcast") if len(args) > 1 else 1.0
+        cost = bcast_cost(self.config.ranks, count, self.config.network)
+        return LibraryCall(value=args[0] if args else None,
+                           costs={CostKind.COMM: cost})
+
+    def _reduce(self, args: Sequence[Value]) -> LibraryCall:
+        count = _count(args, 1, "MPI_Reduce") if len(args) > 1 else 1.0
+        cost = reduce_cost(self.config.ranks, count, self.config.network)
+        return LibraryCall(value=args[0] if args else None,
+                           costs={CostKind.COMM: cost})
+
+    def _allreduce(self, args: Sequence[Value]) -> LibraryCall:
+        count = _count(args, 1, "MPI_Allreduce") if len(args) > 1 else 1.0
+        cost = allreduce_cost(self.config.ranks, count, self.config.network)
+        return LibraryCall(value=args[0] if args else None,
+                           costs={CostKind.COMM: cost})
+
+    def _allgather(self, args: Sequence[Value]) -> LibraryCall:
+        count = _count(args, 0, "MPI_Allgather")
+        cost = allgather_cost(self.config.ranks, count, self.config.network)
+        return LibraryCall.comm(cost)
+
+    def _gather(self, args: Sequence[Value]) -> LibraryCall:
+        count = _count(args, 0, "MPI_Gather")
+        cost = gather_cost(self.config.ranks, count, self.config.network)
+        return LibraryCall.comm(cost)
+
+    def _scatter(self, args: Sequence[Value]) -> LibraryCall:
+        count = _count(args, 0, "MPI_Scatter")
+        cost = scatter_cost(self.config.ranks, count, self.config.network)
+        return LibraryCall.comm(cost)
+
+    def _alltoall(self, args: Sequence[Value]) -> LibraryCall:
+        count = _count(args, 0, "MPI_Alltoall")
+        cost = alltoall_cost(self.config.ranks, count, self.config.network)
+        return LibraryCall.comm(cost)
+
+    def _barrier(self, args: Sequence[Value]) -> LibraryCall:
+        return LibraryCall.comm(
+            barrier_cost(self.config.ranks, self.config.network)
+        )

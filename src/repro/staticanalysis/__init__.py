@@ -1,0 +1,23 @@
+"""Compile-time phase of Perf-Taint (paper section 5.1).
+
+Constant trip-count resolution (SCEV-lite), static function pruning, and
+structural warnings (recursion, irreducible control flow).
+"""
+
+from .prune import (
+    FunctionStaticInfo,
+    StaticReport,
+    analyze_program,
+    default_relevant_library,
+)
+from .scev import fold_const, is_static_loop, static_trip_count
+
+__all__ = [
+    "FunctionStaticInfo",
+    "StaticReport",
+    "analyze_program",
+    "default_relevant_library",
+    "fold_const",
+    "is_static_loop",
+    "static_trip_count",
+]

@@ -1,0 +1,123 @@
+"""SCEV-lite: static trip-count resolution for counted loops.
+
+The paper's compile-time phase queries LLVM's ScalarEvolution to find loops
+"with constant and statically resolvable trip counts" (section 5.1).  Our
+IR's counted ``For`` loops admit the same analysis by constant folding: if
+start, stop and step fold to constants, the trip count is
+``max(0, ceil((stop - start) / step))``.
+
+``While`` loops never have a statically resolvable count here (matching the
+conservative behaviour of the original on loops ScalarEvolution cannot
+model).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..ir.expr import BinOp, Const, Expr, Intrinsic, UnOp
+from ..ir.stmt import For, Stmt, While
+
+
+def fold_const(expr: Expr) -> float | None:
+    """Constant-fold *expr*; return its value or None if not static."""
+    if isinstance(expr, Const):
+        return float(expr.value)
+    if isinstance(expr, UnOp):
+        val = fold_const(expr.operand)
+        if val is None:
+            return None
+        return float(not val) if expr.op == "not" else -val
+    if isinstance(expr, BinOp):
+        lhs = fold_const(expr.lhs)
+        rhs = fold_const(expr.rhs)
+        if lhs is None or rhs is None:
+            return None
+        try:
+            return float(_fold_binop(expr.op, lhs, rhs))
+        except (ZeroDivisionError, OverflowError, ValueError):
+            return None
+    if isinstance(expr, Intrinsic):
+        if expr.name in ("log2", "sqrt", "abs", "int") and len(expr.args) == 1:
+            val = fold_const(expr.args[0])
+            if val is None:
+                return None
+            try:
+                if expr.name == "log2":
+                    return math.log2(val) if val > 0 else 0.0
+                if expr.name == "sqrt":
+                    return math.sqrt(val)
+                if expr.name == "abs":
+                    return abs(val)
+                return float(int(val))
+            except ValueError:
+                return None
+    return None
+
+
+def _fold_binop(op: str, lhs: float, rhs: float) -> float:
+    if op == "+":
+        return lhs + rhs
+    if op == "-":
+        return lhs - rhs
+    if op == "*":
+        return lhs * rhs
+    if op == "/":
+        return lhs / rhs
+    if op == "//":
+        return lhs // rhs
+    if op == "%":
+        return lhs % rhs
+    if op == "**":
+        return lhs**rhs
+    if op == "min":
+        return min(lhs, rhs)
+    if op == "max":
+        return max(lhs, rhs)
+    if op == "<":
+        return float(lhs < rhs)
+    if op == "<=":
+        return float(lhs <= rhs)
+    if op == ">":
+        return float(lhs > rhs)
+    if op == ">=":
+        return float(lhs >= rhs)
+    if op == "==":
+        return float(lhs == rhs)
+    if op == "!=":
+        return float(lhs != rhs)
+    if op == "and":
+        return rhs if lhs else lhs
+    if op == "or":
+        return lhs if lhs else rhs
+    raise ValueError(op)
+
+
+def static_trip_count(loop: Stmt) -> int | None:
+    """Statically resolved trip count of *loop*, or None.
+
+    Only counted ``For`` loops with fully constant bounds resolve.  A loop
+    variable reassigned inside the body invalidates the result, so bodies
+    are scanned for assignments to the induction variable.
+    """
+    if isinstance(loop, While):
+        return None
+    if not isinstance(loop, For):
+        return None
+    from ..ir.stmt import Assign, assigned_names
+
+    if loop.var in assigned_names(loop.body):
+        return None
+    start = fold_const(loop.start)
+    stop = fold_const(loop.stop)
+    step = fold_const(loop.step)
+    if start is None or stop is None or step is None or step <= 0:
+        return None
+    if stop <= start:
+        return 0
+    return int(math.ceil((stop - start) / step))
+
+
+def is_static_loop(loop: Stmt) -> bool:
+    """True when the loop's trip count is statically known."""
+    return static_trip_count(loop) is not None

@@ -1,0 +1,145 @@
+"""DFSan-style taint labels.
+
+Mirrors the label design the paper adopts from LLVM's DataFlowSanitizer
+(section 5.2): labels form a tree where each label is either a *base* label
+(one marked program parameter) or the *union* of exactly two labels.  Each
+label has a 16-bit identifier; the union operation first checks whether an
+equivalent combination already exists and only then allocates a new id.
+Label 0 is the distinguished "untainted" label.
+
+"While the implementation is less efficient than a simple bitset solution,
+it supports up to 2^16 unique labels."  We keep that design (and its
+exhaustion failure mode) deliberately, and property-test the union algebra
+(commutative, associative, idempotent, absorbing w.r.t. 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import LabelExhaustionError
+
+#: The distinguished clean label.
+CLEAN: int = 0
+
+#: Maximum number of distinct labels (16-bit identifiers), including CLEAN.
+MAX_LABELS: int = 1 << 16
+
+
+@dataclass(frozen=True)
+class LabelInfo:
+    """Metadata of one allocated label."""
+
+    ident: int
+    #: Base-label parameter name, or None for union labels.
+    name: str | None
+    #: Child labels for union labels; (0, 0) for base labels.
+    left: int
+    right: int
+
+    @property
+    def is_base(self) -> bool:
+        return self.name is not None
+
+
+class LabelTable:
+    """Allocator and algebra for taint labels."""
+
+    def __init__(self) -> None:
+        self._info: list[LabelInfo] = [LabelInfo(CLEAN, None, 0, 0)]
+        self._by_name: dict[str, int] = {}
+        self._unions: dict[tuple[int, int], int] = {}
+        # memo: label id -> frozenset of base names
+        self._expand_cache: dict[int, frozenset[str]] = {
+            CLEAN: frozenset()
+        }
+
+    def __len__(self) -> int:
+        return len(self._info)
+
+    # ------------------------------------------------------------------
+
+    def create(self, name: str) -> int:
+        """Return the base label for parameter *name*, allocating if new."""
+        if name in self._by_name:
+            return self._by_name[name]
+        ident = self._allocate(LabelInfo(len(self._info), name, 0, 0))
+        self._by_name[name] = ident
+        self._expand_cache[ident] = frozenset({name})
+        return ident
+
+    def union(self, a: int, b: int) -> int:
+        """The label representing the union of labels *a* and *b*.
+
+        Verifies "whether the operands do not represent an equivalent
+        combination of labels and creates a new one if necessary" (5.2):
+        unions are deduplicated on the normalized (min, max) pair, and a
+        union whose operands are equal or subsumed short-circuits.
+        """
+        if a == b or b == CLEAN:
+            return a
+        if a == CLEAN:
+            return b
+        lo, hi = (a, b) if a < b else (b, a)
+        cached = self._unions.get((lo, hi))
+        if cached is not None:
+            return cached
+        # Subsumption: if one operand's base set contains the other's, the
+        # union is equivalent to the larger operand.
+        ea, eb = self.expand(lo), self.expand(hi)
+        if ea <= eb:
+            self._unions[(lo, hi)] = hi
+            return hi
+        if eb <= ea:
+            self._unions[(lo, hi)] = lo
+            return lo
+        # A union over the same base set may already exist under different
+        # operands; reuse it to conserve the 16-bit space.
+        combined = ea | eb
+        for ident, names in self._expand_cache.items():
+            if names == combined:
+                self._unions[(lo, hi)] = ident
+                return ident
+        ident = self._allocate(LabelInfo(len(self._info), None, lo, hi))
+        self._unions[(lo, hi)] = ident
+        self._expand_cache[ident] = combined
+        return ident
+
+    def union_all(self, labels: "list[int] | tuple[int, ...]") -> int:
+        """Fold :meth:`union` over *labels* (CLEAN for an empty sequence)."""
+        out = CLEAN
+        for label in labels:
+            out = self.union(out, label)
+        return out
+
+    def expand(self, label: int) -> frozenset[str]:
+        """The set of base parameter names a label represents."""
+        cached = self._expand_cache.get(label)
+        if cached is not None:
+            return cached
+        info = self.info(label)
+        names = self.expand(info.left) | self.expand(info.right)
+        self._expand_cache[label] = names
+        return names
+
+    def info(self, label: int) -> LabelInfo:
+        """Metadata of *label* (raises IndexError for unallocated ids)."""
+        return self._info[label]
+
+    def has(self, label: int, name: str) -> bool:
+        """True if base parameter *name* is contained in *label*."""
+        return name in self.expand(label)
+
+    def base_labels(self) -> dict[str, int]:
+        """All allocated base labels, name -> id."""
+        return dict(self._by_name)
+
+    # ------------------------------------------------------------------
+
+    def _allocate(self, info: LabelInfo) -> int:
+        if len(self._info) >= MAX_LABELS:
+            raise LabelExhaustionError(
+                f"16-bit label space exhausted ({MAX_LABELS} labels)"
+            )
+        self._info.append(info)
+        return info.ident

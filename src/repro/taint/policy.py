@@ -1,0 +1,47 @@
+"""Taint propagation policy.
+
+The paper's framework (section 3.2, after Clause et al.) is parameterized by
+(a) sources, (b) a propagation policy, (c) sinks.  The policy fixes
+
+* the *mapping function* joining labels — set union here, since the loop
+  analysis only needs the presence of parameters (section 4.1);
+* the *affected data* — which flows propagate labels:
+
+  - **data flow**: operation inputs to outputs, argument to return value;
+  - **explicit control flow**: a tainted branch/loop condition taints
+    values assigned under its control (the LULESH ``regElemSize`` example
+    of section 5.2 requires this);
+  - **implicit flow** (optional, off by default as in DFSan): values a
+    *not-taken* branch would have assigned also depend on the condition
+    (the ``if (c) d = pow(d, 2)`` example of section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PropagationPolicy:
+    """Which flows propagate taint labels."""
+
+    data_flow: bool = True
+    control_flow: bool = True
+    implicit_flow: bool = False
+
+    def validate(self) -> None:
+        """Reject configurations the engine cannot honor."""
+        if self.implicit_flow and not self.control_flow:
+            raise ValueError(
+                "implicit_flow requires control_flow propagation"
+            )
+
+
+#: Policy used throughout the paper's evaluation: full data + explicit
+#: control flow (section 4.1: "our analysis requires the propagation of
+#: taint across data flow and control flow").
+FULL_POLICY = PropagationPolicy(data_flow=True, control_flow=True)
+
+#: Data-flow-only policy, used by the control-flow ablation benchmark to
+#: demonstrate the missed ``regElemSize``-style dependencies.
+DATAFLOW_ONLY = PropagationPolicy(data_flow=True, control_flow=False)

@@ -1,0 +1,96 @@
+"""Shadow state: taint labels for every live program value.
+
+DataFlowSanitizer keeps a shadow memory pool mapping each application byte
+to a label (paper 5.2).  Our interpreter's state is scalars in environments
+plus heap arrays, so the shadow is:
+
+* one label per variable binding, per call frame
+  (:class:`ShadowFrame`);
+* one label per array element, per allocation
+  (:class:`ShadowHeap`, keyed by array object identity).
+"""
+
+from __future__ import annotations
+
+from ..interp.values import Array
+from .label import CLEAN
+
+
+class ShadowFrame:
+    """Labels of the scalar variables of one call frame."""
+
+    __slots__ = ("_labels",)
+
+    def __init__(self) -> None:
+        self._labels: dict[str, int] = {}
+
+    def get(self, name: str) -> int:
+        """Label of variable *name* (CLEAN when never tainted)."""
+        return self._labels.get(name, CLEAN)
+
+    def set(self, name: str, label: int) -> None:
+        """Set the label of variable *name*."""
+        if label == CLEAN:
+            # Keep the dict sparse: most variables stay clean.
+            self._labels.pop(name, None)
+        else:
+            self._labels[name] = label
+
+    def items(self) -> dict[str, int]:
+        """Copy of the tainted bindings (clean variables omitted)."""
+        return dict(self._labels)
+
+
+class ShadowHeap:
+    """Per-element labels for every allocated array.
+
+    Arrays are identified by object identity; entries are created lazily on
+    the first tainted store and hold one label per element.  A per-array
+    *summary label* (union of all element labels ever stored) is also kept
+    so whole-array taint queries are O(1).
+    """
+
+    def __init__(self) -> None:
+        self._elements: dict[int, list[int]] = {}
+        self._summary: dict[int, int] = {}
+        # Keep arrays alive while we hold shadow state for them, so ids are
+        # not recycled mid-run.
+        self._pins: dict[int, Array] = {}
+
+    def load(self, arr: Array, index: int) -> int:
+        """Label of ``arr[index]``."""
+        labels = self._elements.get(id(arr))
+        if labels is None:
+            return CLEAN
+        return labels[index]
+
+    def store(self, arr: Array, index: int, label: int, union) -> None:
+        """Set the label of ``arr[index]``; *union* joins into the summary."""
+        key = id(arr)
+        labels = self._elements.get(key)
+        if labels is None:
+            if label == CLEAN:
+                return
+            labels = [CLEAN] * len(arr)
+            self._elements[key] = labels
+            self._pins[key] = arr
+        labels[index] = label
+        self._summary[key] = union(self._summary.get(key, CLEAN), label)
+
+    def summary(self, arr: Array) -> int:
+        """Union of all labels ever stored into *arr*."""
+        return self._summary.get(id(arr), CLEAN)
+
+    def taint_all(self, arr: Array, label: int, union) -> None:
+        """Taint every element of *arr* with *label* (library sources)."""
+        if label == CLEAN:
+            return
+        key = id(arr)
+        labels = self._elements.get(key)
+        if labels is None:
+            labels = [CLEAN] * len(arr)
+            self._elements[key] = labels
+            self._pins[key] = arr
+        for i in range(len(labels)):
+            labels[i] = union(labels[i], label)
+        self._summary[key] = union(self._summary.get(key, CLEAN), label)

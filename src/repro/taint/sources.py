@@ -1,0 +1,99 @@
+"""Taint sources and the library taint model protocol.
+
+Sources are "all potentially performance-relevant parameters of a program"
+(paper 4.1): memory locations the performance engineer marks explicitly with
+``register_variable``-style annotations, plus *library* sources — values a
+library writes that carry implicit parameters, the canonical example being
+``MPI_Comm_size`` writing the communicator size (implicit parameter ``p``,
+section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from ..interp.values import Value
+
+
+@dataclass(frozen=True)
+class ParameterSource:
+    """One explicitly marked program parameter.
+
+    ``argument`` names the entry-function argument to taint; ``label`` is
+    the label name under which it appears in reports (defaults to the
+    argument name, like ``register_variable(&opts.nx, "size")`` lets the
+    user rename).
+    """
+
+    argument: str
+    label: str = ""
+
+    def label_name(self) -> str:
+        return self.label or self.argument
+
+
+@dataclass
+class SourceSpec:
+    """The full source specification for one tainted run."""
+
+    parameters: list[ParameterSource] = field(default_factory=list)
+
+    @classmethod
+    def from_mapping(cls, mapping: "dict[str, str] | Sequence[str]") -> "SourceSpec":
+        """Build from ``{arg: label}`` or a plain list of argument names."""
+        if isinstance(mapping, dict):
+            params = [ParameterSource(a, l) for a, l in mapping.items()]
+        else:
+            params = [ParameterSource(a) for a in mapping]
+        return cls(params)
+
+    def label_names(self) -> tuple[str, ...]:
+        return tuple(p.label_name() for p in self.parameters)
+
+
+@dataclass
+class LibraryTaintEffect:
+    """Taint-relevant outcome of one library routine invocation.
+
+    ``return_label_params``: implicit parameters carried by the return
+    value (``MPI_Comm_size`` -> ``{"p"}``).
+    ``dependency_params``: parameters the routine's *performance* depends
+    on — recorded as a function-level dependency of the caller (e.g. every
+    MPI collective depends on ``p``; message-size-dependent routines add
+    the labels of their ``count`` argument, section 5.3).
+    """
+
+    return_label_params: frozenset[str] = frozenset()
+    dependency_params: frozenset[str] = frozenset()
+
+
+class LibraryTaintModel(Protocol):
+    """Taint semantics of library routines (implemented by the library DB)."""
+
+    def handles(self, routine: str) -> bool:
+        """True if this model describes *routine*."""
+
+    def effect(
+        self,
+        routine: str,
+        args: Sequence[Value],
+        arg_params: Sequence[frozenset[str]],
+    ) -> LibraryTaintEffect:
+        """Taint effect of calling *routine* with the given argument values
+        and per-argument parameter sets."""
+
+
+class NoLibraryTaint:
+    """Model that knows no routines (treats library calls as clean)."""
+
+    def handles(self, routine: str) -> bool:  # noqa: D102
+        return False
+
+    def effect(
+        self,
+        routine: str,
+        args: Sequence[Value],
+        arg_params: Sequence[frozenset[str]],
+    ) -> LibraryTaintEffect:  # noqa: D102
+        return LibraryTaintEffect()

@@ -1,0 +1,24 @@
+"""Iteration-volume calculus (paper sections 4.2–4.3) and dependency
+classification (section A2)."""
+
+from .depclass import (
+    DependencyClass,
+    ProgramDependencies,
+    classify_program,
+    classify_volume,
+)
+from .loopnest import VolumeAnalyzer, VolumeReport, compute_volumes
+from .symbolic import LoopCount, Term, Volume
+
+__all__ = [
+    "DependencyClass",
+    "LoopCount",
+    "ProgramDependencies",
+    "Term",
+    "Volume",
+    "VolumeAnalyzer",
+    "VolumeReport",
+    "classify_program",
+    "classify_volume",
+    "compute_volumes",
+]

@@ -1,0 +1,108 @@
+"""Additive vs multiplicative parameter dependencies (paper section A2).
+
+"Taint analysis can find parameter dependencies, such as multiplicative
+dependencies between parameters influencing the iteration count in outer
+and inner loops, and additive dependencies between parameters influencing
+the iteration count of non-nested loops."
+
+Classification rules over a symbolic :class:`~repro.volume.symbolic.Volume`:
+
+* two parameters are **multiplicative** when they co-occur in one product
+  term — either via nested loops or via a single exit condition carrying
+  both labels, the latter being the paper's sole over-approximation
+  ("we conservatively report a multiplicative dependency");
+* parameters appearing only in disjoint terms are **additive**;
+* routines whose dependencies are additive-only admit single-parameter
+  experiment designs, shrinking the sweep from a product to a sum of
+  configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from .symbolic import Volume
+
+
+@dataclass(frozen=True)
+class DependencyClass:
+    """Dependency structure of one function (or program)."""
+
+    params: frozenset[str]
+    #: Maximal parameter groups that appear together in a product term.
+    multiplicative_groups: tuple[frozenset[str], ...]
+    #: Unordered parameter pairs classified as multiplicative.
+    multiplicative_pairs: frozenset[frozenset[str]]
+
+    @property
+    def additive_only(self) -> bool:
+        """True when no two parameters multiply (section A2 fast path)."""
+        return not self.multiplicative_pairs
+
+    def are_multiplicative(self, a: str, b: str) -> bool:
+        """True when parameters *a* and *b* co-occur in a product term."""
+        return frozenset({a, b}) in self.multiplicative_pairs
+
+    def are_additive(self, a: str, b: str) -> bool:
+        """True when both parameters occur but never together."""
+        return (
+            a in self.params
+            and b in self.params
+            and not self.are_multiplicative(a, b)
+        )
+
+
+def classify_volume(volume: Volume) -> DependencyClass:
+    """Classify the dependency structure of *volume*."""
+    groups = volume.param_groups()
+    pairs: set[frozenset[str]] = set()
+    for group in groups:
+        for a, b in combinations(sorted(group), 2):
+            pairs.add(frozenset({a, b}))
+    # Maximal groups: drop groups strictly contained in another.
+    unique = sorted(set(groups), key=lambda g: (-len(g), sorted(g)))
+    maximal: list[frozenset[str]] = []
+    for group in unique:
+        if len(group) < 2:
+            continue
+        if not any(group < other for other in maximal):
+            maximal.append(group)
+    return DependencyClass(
+        params=volume.params,
+        multiplicative_groups=tuple(maximal),
+        multiplicative_pairs=frozenset(pairs),
+    )
+
+
+@dataclass
+class ProgramDependencies:
+    """Dependency classes for every function plus the whole program."""
+
+    per_function: dict[str, DependencyClass] = field(default_factory=dict)
+    program: DependencyClass | None = None
+
+    def additive_only_functions(self) -> frozenset[str]:
+        """Functions whose dependencies are additive-only."""
+        return frozenset(
+            name
+            for name, dep in self.per_function.items()
+            if dep.params and dep.additive_only
+        )
+
+    def multiplicative_functions(self) -> frozenset[str]:
+        """Functions with at least one multiplicative pair."""
+        return frozenset(
+            name
+            for name, dep in self.per_function.items()
+            if not dep.additive_only
+        )
+
+
+def classify_program(volumes: "dict[str, Volume]", program_volume: Volume) -> ProgramDependencies:
+    """Classify every function volume plus the program volume."""
+    out = ProgramDependencies()
+    for name, vol in volumes.items():
+        out.per_function[name] = classify_volume(vol)
+    out.program = classify_volume(program_volume)
+    return out

@@ -1,0 +1,158 @@
+"""Iteration-volume composition over the structured IR (paper 4.2–4.3).
+
+Walks function bodies applying the two composition rules:
+
+* sequencing loop nests sums volumes,
+* nesting multiplies the outer loop count with the inner volume,
+
+and accumulates volumes across the (non-recursive) call tree.  Loop counts
+come from two places: statically resolved trip counts (constants, from
+:mod:`repro.staticanalysis.scev`) and taint-derived parameter classes
+(opaque ``g(params)`` symbols, from the taint report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..ir.callgraph import build_callgraph
+from ..ir.expr import Call
+from ..ir.program import Program
+from ..ir.stmt import For, If, Stmt, While
+from ..staticanalysis.scev import static_trip_count
+from ..taint.report import TaintReport
+from .symbolic import LoopCount, Volume
+
+
+@dataclass
+class VolumeReport:
+    """Per-function and whole-program symbolic volumes."""
+
+    #: Volume of each function's own body, with callee volumes inlined.
+    inclusive: dict[str, Volume]
+    #: Volume of each function's own loops only (no calls).
+    exclusive: dict[str, Volume]
+    #: Program volume: inclusive volume of the entry function.
+    program: Volume
+    warnings: list[str] = field(default_factory=list)
+
+
+class VolumeAnalyzer:
+    """Computes symbolic volumes of a program.
+
+    Parameters
+    ----------
+    program:
+        The finalized program.
+    taint:
+        Taint report supplying parameter classes for dynamic loops.  Loops
+        the taint run never executed produce a warning and are treated as
+        parameter-free (the paper's analysis likewise only sees executed
+        code; section C2 turns this into an experiment-design check).
+    """
+
+    def __init__(self, program: Program, taint: TaintReport) -> None:
+        self.program = program
+        self.taint = taint
+        self.warnings: list[str] = []
+        self._callgraph = build_callgraph(program)
+        self._inclusive_cache: dict[str, Volume] = {}
+        self._loop_param_map = taint.loops_by_function()
+
+    # ------------------------------------------------------------------
+
+    def analyze(self) -> VolumeReport:
+        """Compute volumes for every function and the program."""
+        if self._callgraph.has_recursion:
+            rec = ", ".join(sorted(self._callgraph.recursive_functions()))
+            self.warnings.append(
+                f"recursive functions ({rec}): volume accumulation skips "
+                "recursive call edges (over-approximation, section 4.1)"
+            )
+        exclusive = {
+            fn.name: self._body_volume(fn.name, fn.body, inline_calls=False)
+            for fn in self.program
+        }
+        inclusive = {
+            fn.name: self._function_volume(fn.name) for fn in self.program
+        }
+        return VolumeReport(
+            inclusive=inclusive,
+            exclusive=exclusive,
+            program=inclusive[self.program.entry],
+            warnings=list(self.warnings),
+        )
+
+    def _function_volume(self, name: str) -> Volume:
+        if name in self._inclusive_cache:
+            return self._inclusive_cache[name]
+        # Break recursion cycles: mark in-progress functions as constant.
+        self._inclusive_cache[name] = Volume.constant(1.0)
+        fn = self.program.function(name)
+        vol = self._body_volume(name, fn.body, inline_calls=True)
+        self._inclusive_cache[name] = vol
+        return vol
+
+    # ------------------------------------------------------------------
+
+    def _loop_count(self, fn_name: str, loop: Stmt) -> Volume:
+        """Loop count as a volume: constant if static, else g(params)."""
+        static = static_trip_count(loop)
+        if static is not None:
+            return Volume.constant(float(static))
+        loop_id = getattr(loop, "loop_id", -1)
+        params = self._loop_param_map.get(fn_name, {}).get(loop_id)
+        if params is None:
+            self.warnings.append(
+                f"loop {fn_name}#{loop_id} was not executed during the "
+                "taint run; its parameter class is unknown"
+            )
+            params = frozenset()
+        return Volume.of_loop(LoopCount(fn_name, loop_id, params))
+
+    def _body_volume(
+        self, fn_name: str, body: Sequence[Stmt], inline_calls: bool
+    ) -> Volume:
+        """Sequencing rule: the volume of a block is the sum of the volumes
+        of its loop nests (plus a constant for straight-line code, which
+        section 4.3 lets us ignore asymptotically — we keep a unit constant
+        so empty functions still have a well-defined constant volume)."""
+        total = Volume.constant(1.0)
+        for stmt in body:
+            total = total + self._stmt_volume(fn_name, stmt, inline_calls)
+        return total
+
+    def _stmt_volume(
+        self, fn_name: str, stmt: Stmt, inline_calls: bool
+    ) -> Volume:
+        if isinstance(stmt, (For, While)):
+            count = self._loop_count(fn_name, stmt)
+            inner = Volume.constant(1.0)
+            for sub in stmt.body:
+                inner = inner + self._stmt_volume(fn_name, sub, inline_calls)
+            # Nesting rule: vol(LN) = count(L) * vol(children).
+            return count * inner
+        if isinstance(stmt, If):
+            # Both branches over-approximate the volume (sum >= max).
+            vol = Volume.zero()
+            for sub in stmt.then_body:
+                vol = vol + self._stmt_volume(fn_name, sub, inline_calls)
+            for sub in stmt.else_body:
+                vol = vol + self._stmt_volume(fn_name, sub, inline_calls)
+            return vol
+        if inline_calls:
+            vol = Volume.zero()
+            for expr in stmt.exprs():
+                for node in expr.walk():
+                    if isinstance(node, Call) and node.callee in self.program:
+                        if node.callee == fn_name:
+                            continue  # recursion: skip (warned above)
+                        vol = vol + self._function_volume(node.callee)
+            return vol
+        return Volume.zero()
+
+
+def compute_volumes(program: Program, taint: TaintReport) -> VolumeReport:
+    """Convenience wrapper: run the volume analysis."""
+    return VolumeAnalyzer(program, taint).analyze()

@@ -1,0 +1,176 @@
+"""Symbolic iteration volumes.
+
+The taint analysis yields, for each loop L, a *class of functions*
+``g_L(p1, ..., pn)`` over the marked parameters (paper Claim 1) — the exact
+function is unknown until empirical modeling parameterizes it.  The volume
+calculus composes these opaque loop-count symbols:
+
+* **sequencing** two loop nests adds volumes (paper 4.2),
+* **nesting** multiplies the outer count with the inner volume.
+
+A :class:`Volume` is a sum of :class:`Term`s; a term is a constant
+multiplier times a product of :class:`LoopCount` symbols.  The parameter
+structure of the terms (which parameters co-occur in a product) is exactly
+the additive/multiplicative dependency information of section A2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class LoopCount:
+    """The unknown iteration-count function ``g(params)`` of one loop."""
+
+    function: str
+    loop_id: int
+    params: frozenset[str] = frozenset()
+
+    def __str__(self) -> str:
+        args = ", ".join(sorted(self.params)) if self.params else ""
+        return f"g[{self.function}#{self.loop_id}]({args})"
+
+    def _key(self) -> tuple:
+        return (self.function, self.loop_id, tuple(sorted(self.params)))
+
+    def __lt__(self, other: "LoopCount") -> bool:  # stable ordering for keys
+        return self._key() < other._key()
+
+    def __le__(self, other: "LoopCount") -> bool:
+        return self._key() <= other._key()
+
+    def __gt__(self, other: "LoopCount") -> bool:
+        return self._key() > other._key()
+
+    def __ge__(self, other: "LoopCount") -> bool:
+        return self._key() >= other._key()
+
+
+@dataclass(frozen=True)
+class Term:
+    """``coefficient * prod(factors)``; factors sorted for canonical form."""
+
+    coefficient: float
+    factors: tuple[LoopCount, ...]
+
+    @property
+    def params(self) -> frozenset[str]:
+        """All parameters occurring anywhere in this term."""
+        out: frozenset[str] = frozenset()
+        for f in self.factors:
+            out |= f.params
+        return out
+
+    @property
+    def is_constant(self) -> bool:
+        """True when no factor depends on any parameter."""
+        return not self.params
+
+    def key(self) -> tuple[LoopCount, ...]:
+        return self.factors
+
+    def __str__(self) -> str:
+        if not self.factors:
+            return f"{self.coefficient:g}"
+        factors = " * ".join(str(f) for f in self.factors)
+        if self.coefficient == 1:
+            return factors
+        return f"{self.coefficient:g} * {factors}"
+
+
+class Volume:
+    """A sum of terms, canonicalized by merging equal factor products."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: Iterable[Term] = ()) -> None:
+        merged: dict[tuple[LoopCount, ...], float] = {}
+        for term in terms:
+            if term.coefficient == 0:
+                continue
+            merged[term.key()] = merged.get(term.key(), 0.0) + term.coefficient
+        self.terms: tuple[Term, ...] = tuple(
+            Term(coef, key)
+            for key, coef in sorted(
+                merged.items(), key=lambda kv: (len(kv[0]), kv[0])
+            )
+            if coef != 0
+        )
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "Volume":
+        return cls()
+
+    @classmethod
+    def constant(cls, value: float) -> "Volume":
+        return cls([Term(float(value), ())])
+
+    @classmethod
+    def of_loop(cls, count: LoopCount) -> "Volume":
+        return cls([Term(1.0, (count,))])
+
+    # -- algebra -----------------------------------------------------------
+
+    def __add__(self, other: "Volume") -> "Volume":
+        return Volume(self.terms + other.terms)
+
+    def __mul__(self, other: "Volume") -> "Volume":
+        out: list[Term] = []
+        for a in self.terms:
+            for b in other.terms:
+                out.append(
+                    Term(
+                        a.coefficient * b.coefficient,
+                        tuple(sorted(a.factors + b.factors)),
+                    )
+                )
+        return Volume(out)
+
+    def scaled(self, value: float) -> "Volume":
+        return Volume([Term(t.coefficient * value, t.factors) for t in self.terms])
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def is_constant(self) -> bool:
+        """True when no term depends on any parameter (section 4.3: constant
+        compute volume -> constant model)."""
+        return all(t.is_constant for t in self.terms)
+
+    @property
+    def params(self) -> frozenset[str]:
+        """All parameters the volume depends on."""
+        out: frozenset[str] = frozenset()
+        for t in self.terms:
+            out |= t.params
+        return out
+
+    def param_groups(self) -> list[frozenset[str]]:
+        """Parameter sets of the non-constant terms (for dependency
+        classification: parameters in the same group multiply)."""
+        return [t.params for t in self.terms if not t.is_constant]
+
+    def degree(self) -> int:
+        """Maximum number of unknown loop factors in any term (nesting
+        depth of parameter-dependent loops)."""
+        return max((len(t.factors) for t in self.terms), default=0)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Volume):
+            return NotImplemented
+        return self.terms == other.terms
+
+    def __hash__(self) -> int:
+        return hash(self.terms)
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return "0"
+        return " + ".join(str(t) for t in self.terms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Volume({self})"

@@ -1,0 +1,106 @@
+"""CLI and report-rendering tests."""
+
+import numpy as np
+import pytest
+
+from repro.cli import _parse_values, build_parser, main
+from repro.core.report import format_table, render_models
+from repro.core.hybrid import ModelComparison
+from repro.modeling import Modeler, SearchPrior, fit_constant
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("a", "bb"), [(1, 22), (333, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_empty_rows(self):
+        text = format_table(("x",), [])
+        assert "x" in text
+
+
+class TestRenderModels:
+    def _comparison(self):
+        X = np.arange(1, 6, dtype=float).reshape(-1, 1)
+        hybrid = fit_constant(X, np.full(5, 3.0), ("p",))
+        bb = Modeler().model(X, 2 * X[:, 0] + 1, ("p",))
+        return ModelComparison("fn", hybrid, bb, SearchPrior.constant())
+
+    def test_renders_both_columns(self):
+        text = render_models({"fn": self._comparison()})
+        assert "hybrid model" in text and "black-box model" in text
+        assert "fn" in text
+
+    def test_max_rows(self):
+        comps = {f"f{i}": self._comparison() for i in range(10)}
+        text = render_models(comps, max_rows=3)
+        assert text.count("\n") <= 6
+
+    def test_false_dependencies_property(self):
+        cmp = self._comparison()
+        assert cmp.false_dependencies == frozenset({"p"})
+
+
+class TestCLIParsing:
+    def test_parse_values(self):
+        out = _parse_values(["p=1,2,3", "size=10,20"])
+        assert out == {"p": [1.0, 2.0, 3.0], "size": [10.0, 20.0]}
+
+    def test_parse_values_rejects_missing_eq(self):
+        with pytest.raises(SystemExit):
+            _parse_values(["oops"])
+
+    def test_parse_values_rejects_empty(self):
+        with pytest.raises(SystemExit):
+            _parse_values(["p="])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "notanapp"])
+
+
+class TestCLICommands:
+    def test_analyze_lulesh(self, capsys):
+        assert main(["analyze", "lulesh"]) == 0
+        out = capsys.readouterr().out
+        assert "Functions" in out
+        assert "parameter coverage" in out
+
+    def test_segments_milc(self, capsys):
+        assert main(["segments", "milc", "--p", "4,32"]) == 0
+        out = capsys.readouterr().out
+        assert "do_gather" in out
+
+    def test_model_small(self, capsys):
+        rc = main(
+            [
+                "model",
+                "lulesh",
+                "--values", "p=27,64,125", "size=6,9,12",
+                "--repetitions", "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hybrid model" in out
+
+    def test_contention_small(self, capsys):
+        rc = main(
+            [
+                "contention",
+                "lulesh",
+                "--r", "2,4,8",
+                "--size", "10",
+                "--repetitions", "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "application model over r" in out

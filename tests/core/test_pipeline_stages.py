@@ -1,0 +1,93 @@
+"""Pipeline stage-by-stage tests (the granular API of PerfTaintPipeline)."""
+
+import pytest
+
+from repro.apps.synthetic import SyntheticWorkload, build_additive_example
+from repro.core.pipeline import PerfTaintPipeline, core_hours
+from repro.measure import APP_KEY, InstrumentationMode
+from repro.measure.noise import NoNoise
+from repro.volume import classify_program, compute_volumes
+
+
+@pytest.fixture()
+def pipeline():
+    wl = SyntheticWorkload(
+        builder=build_additive_example,
+        parameters=("p", "s"),
+        defaults={"p": 4, "s": 4},
+        name="additive",
+    )
+    return PerfTaintPipeline(workload=wl, repetitions=3, seed=2, noise=NoNoise())
+
+
+class TestStages:
+    def test_analyze_returns_all_artifacts(self, pipeline):
+        static, taint, volumes, deps, cls = pipeline.analyze()
+        assert static.functions
+        assert taint.loop_records
+        assert volumes.program.params == frozenset({"p", "s"})
+        assert deps.program is not None and deps.program.additive_only
+        assert cls.total_functions == 4
+
+    def test_plan_modes(self, pipeline):
+        static, taint, *_ = pipeline.analyze()[:2], None
+        static, taint = pipeline.analyze_static(), pipeline.analyze_taint()
+        prog = pipeline.workload.program()
+        full = pipeline.plan_for(InstrumentationMode.FULL)
+        default = pipeline.plan_for(InstrumentationMode.DEFAULT_FILTER)
+        none = pipeline.plan_for(InstrumentationMode.NONE)
+        tf = pipeline.plan_for(InstrumentationMode.TAINT_FILTER, taint, static)
+        assert len(full) == prog.function_count()
+        assert len(none) == 0
+        assert tf.functions == frozenset({"foo"})
+        assert len(default) <= len(full)
+
+    def test_taint_filter_without_report_raises(self, pipeline):
+        with pytest.raises(ValueError):
+            pipeline.plan_for(InstrumentationMode.TAINT_FILTER)
+
+    def test_design_additive(self, pipeline):
+        static, taint, volumes, deps, _ = pipeline.analyze()
+        decision = pipeline.design(
+            {"p": [2, 4, 8], "s": [2, 4, 8]}, taint, deps, volumes
+        )
+        assert decision.size == 5  # one-at-a-time
+
+    def test_measure_and_model(self, pipeline):
+        static, taint, volumes, deps, _ = pipeline.analyze()
+        design = pipeline.design(
+            {"p": [2, 4, 8, 16], "s": [2, 4, 8, 16]}, taint, deps, volumes
+        )
+        plan = pipeline.plan_for(
+            InstrumentationMode.TAINT_FILTER, taint, static
+        )
+        meas, profiles = pipeline.measure(design.configurations, plan)
+        assert len(profiles) == design.size
+        models = pipeline.model(
+            meas, taint, volumes, compare_black_box=False, cov_threshold=None
+        )
+        assert "foo" in models
+        used = models["foo"].hybrid.used_parameters()
+        assert used <= {"p", "s"}
+
+    def test_run_end_to_end_no_noise(self, pipeline):
+        result = pipeline.run(
+            {"p": [2, 4, 8, 16], "s": [2, 4, 8, 16]},
+            cov_threshold=None,
+        )
+        assert result.design.strategy.startswith("one-at-a-time")
+        assert APP_KEY in result.models
+        assert result.contention_findings == []
+
+    def test_core_hours_aggregation(self, pipeline):
+        static, taint, volumes, deps, _ = pipeline.analyze()
+        design = pipeline.design(
+            {"p": [2, 4], "s": [2, 4]}, taint, deps, volumes
+        )
+        plan = pipeline.plan_for(InstrumentationMode.FULL)
+        _, profiles = pipeline.measure(design.configurations, plan)
+        ch = core_hours(profiles, ("p", "s"), ranks_param="p")
+        assert ch > 0
+        # weighting by ranks: doubling p doubles that run's contribution
+        ch_no_ranks = core_hours(profiles, ("p", "s"), ranks_param="absent")
+        assert ch > ch_no_ranks

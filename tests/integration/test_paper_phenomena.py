@@ -1,0 +1,245 @@
+"""Integration tests asserting the paper's headline phenomena end-to-end.
+
+Each test corresponds to an evaluation claim (see EXPERIMENTS.md); the
+benchmarks regenerate the full tables/figures, these tests pin the *shape*
+so regressions are caught by ``pytest``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.lulesh import LuleshWorkload
+from repro.apps.milc import MilcWorkload
+from repro.core import detect_segmented_behavior
+from repro.core.hybrid import HybridModeler
+from repro.core.pipeline import PerfTaintPipeline
+from repro.measure import (
+    APP_KEY,
+    InstrumentationMode,
+    default_filter_plan,
+    full_plan,
+    none_plan,
+    profile_run,
+    taint_filter_plan,
+)
+from repro.mpisim.contention import LogQuadraticContention
+
+
+@pytest.fixture(scope="module")
+def lulesh_run():
+    """A small (3x3, 3 reps) LULESH pipeline run with black-box models."""
+    wl = LuleshWorkload()
+    pipe = PerfTaintPipeline(workload=wl, repetitions=3, seed=11)
+    return pipe.run(
+        {"p": [27, 125, 343], "size": [8, 14, 20]},
+        mode=InstrumentationMode.TAINT_FILTER,
+        compare_black_box=True,
+    )
+
+
+class TestOverheadShapes:
+    """Figures 3/4: taint filter << default/full instrumentation."""
+
+    def test_lulesh_overhead_ordering(
+        self, lulesh_workload, lulesh_static, lulesh_taint
+    ):
+        prog = lulesh_workload.program()
+        setup = lulesh_workload.setup({"p": 64, "size": 20})
+        times = {}
+        for name, plan in (
+            ("native", none_plan()),
+            ("taint", taint_filter_plan(prog, lulesh_taint, lulesh_static)),
+            ("default", default_filter_plan(prog)),
+            ("full", full_plan(prog)),
+        ):
+            times[name] = profile_run(
+                prog, setup.args, plan, runtime=setup.runtime
+            ).total_time()
+        # paper: taint filter within a few percent of native
+        assert times["taint"] / times["native"] < 1.06
+        # paper: full instrumentation an order of magnitude worse
+        assert times["full"] / times["native"] > 8
+        # ordering
+        assert (
+            times["native"]
+            <= times["taint"]
+            < times["default"]
+            < times["full"]
+        )
+
+    def test_milc_default_filter_useless(
+        self, milc_workload, milc_static, milc_taint
+    ):
+        """Figure 4: 'the default instrumentation provides little to no
+        benefit' on MILC."""
+        prog = milc_workload.program()
+        setup = milc_workload.setup({"p": 16, "size": 256})
+        native = profile_run(
+            prog, setup.args, none_plan(), runtime=setup.runtime
+        ).total_time()
+        default = profile_run(
+            prog, setup.args, default_filter_plan(prog), runtime=setup.runtime
+        ).total_time()
+        full = profile_run(
+            prog, setup.args, full_plan(prog), runtime=setup.runtime
+        ).total_time()
+        taint = profile_run(
+            prog,
+            setup.args,
+            taint_filter_plan(prog, milc_taint, milc_static),
+            runtime=setup.runtime,
+        ).total_time()
+        assert default / native > 0.85 * (full / native)
+        assert taint / native < 1.15
+
+
+class TestQualityB1:
+    """B1: the taint prior removes noise-induced false dependencies."""
+
+    def test_hybrid_removes_false_dependencies(self, lulesh_run):
+        false_by_fn = HybridModeler.false_dependency_report(lulesh_run.models)
+        # black-box modeling produces several false dependencies...
+        assert len(false_by_fn) >= 3
+        # ...and every hybrid model is free of taint-refuted parameters.
+        for fn, cmp in lulesh_run.models.items():
+            if fn == APP_KEY or cmp.prior is None:
+                continue
+            allowed = cmp.prior.allowed_params
+            if cmp.prior.forced_constant:
+                assert cmp.hybrid.is_constant, fn
+            elif allowed is not None:
+                assert cmp.hybrid.used_parameters() <= allowed, fn
+
+    def test_kernel_models_match_ground_truth(self, lulesh_run):
+        """IntegrateStressForElems has true exclusive volume ~ size^3."""
+        cmp = lulesh_run.models.get("IntegrateStressForElems")
+        assert cmp is not None
+        pred_ratio = cmp.hybrid.predict_one(
+            {"p": 64, "size": 28}
+        ) / cmp.hybrid.predict_one({"p": 64, "size": 14})
+        assert pred_ratio == pytest.approx(8.0, rel=0.35)
+
+    def test_no_contention_findings_without_contention(self, lulesh_run):
+        assert lulesh_run.contention_findings == []
+
+
+class TestIntrusionB2:
+    """B2: instrumentation changes the measured model of CalcQForElems."""
+
+    def test_default_filter_misses_calcq(self, lulesh_workload):
+        """'The default Score-P filter does not instrument this function,
+        leading to false-negative result.'"""
+        plan = default_filter_plan(lulesh_workload.program())
+        assert not plan.is_instrumented("CalcQForElems")
+
+    def test_taint_filter_keeps_calcq(
+        self, lulesh_workload, lulesh_static, lulesh_taint
+    ):
+        plan = taint_filter_plan(
+            lulesh_workload.program(), lulesh_taint, lulesh_static
+        )
+        assert plan.is_instrumented("CalcQForElems")
+
+    def test_filtered_model_is_multiplicative(self, lulesh_run):
+        cmp = lulesh_run.models.get("CalcQForElems")
+        assert cmp is not None
+        # the pack loop is size^2 * p^0.25: both parameters survive in a
+        # product term of the hybrid model
+        multi_terms = [
+            t for t in cmp.hybrid.terms if len(t.uses()) == 2
+        ]
+        assert multi_terms, cmp.hybrid.format()
+
+
+class TestContentionC1:
+    """C1: co-located ranks produce log2(r)-family models on kernels that
+    taint proves r-independent."""
+
+    @pytest.fixture(scope="class")
+    def r_sweep(self):
+        wl = LuleshWorkload(parameters=("r",))
+        pipe = PerfTaintPipeline(
+            workload=wl,
+            repetitions=3,
+            seed=5,
+            contention=LogQuadraticContention(beta=0.06),
+        )
+        static, taint, volumes, deps, cls = pipe.analyze()
+        plan = pipe.plan_for(InstrumentationMode.TAINT_FILTER, taint, static)
+        design = [
+            {"r": r, "p": 64, "size": 16} for r in (2, 4, 6, 8, 12, 16, 18)
+        ]
+        meas, _ = pipe.measure(design, plan)
+        models = pipe.model(meas, taint, volumes, compare_black_box=True)
+        findings = pipe.validate(meas, models, taint)
+        return meas, models, findings
+
+    def test_contention_detected(self, r_sweep):
+        _meas, _models, findings = r_sweep
+        assert len(findings) >= 5
+        flagged = {f.function for f in findings}
+        assert "CalcHourglassControlForElems" in flagged  # Fig. 5 headline
+
+    def test_models_are_log_family(self, r_sweep):
+        _meas, models, findings = r_sweep
+        flagged = {f.function for f in findings}
+        for fn in flagged & {"CalcHourglassControlForElems", APP_KEY}:
+            model = models[fn].black_box or models[fn].hybrid
+            text = model.format()
+            assert "r" in text and ("log2(r)" in text or "r^" in text)
+
+    def test_app_slowdown_magnitude(self, r_sweep):
+        """Paper: ~50% application slowdown from r=2 to r=18."""
+        meas, _models, _findings = r_sweep
+        t2 = np.mean(meas.repetitions(APP_KEY, (2.0,)))
+        t18 = np.mean(meas.repetitions(APP_KEY, (18.0,)))
+        assert 1.2 < t18 / t2 < 2.5
+
+
+class TestValidityC2:
+    """C2: the MILC gather algorithm switch is flagged as segmented."""
+
+    def test_gather_switch_detected(self, milc_workload):
+        findings = detect_segmented_behavior(
+            milc_workload.program(),
+            [
+                {"p": 4, "size": 16},
+                {"p": 8, "size": 16},
+                {"p": 32, "size": 16},
+            ],
+            milc_workload.setup,
+            milc_workload.sources(),
+            library_taint=__import__(
+                "repro.libdb", fromlist=["MPI_DATABASE"]
+            ).MPI_DATABASE,
+        )
+        gather = [f for f in findings if f.function == "do_gather"]
+        assert len(gather) == 1
+        assert gather[0].params == frozenset({"p"})
+
+    def test_no_flag_within_one_regime(self, milc_workload):
+        from repro.libdb import MPI_DATABASE
+
+        findings = detect_segmented_behavior(
+            milc_workload.program(),
+            [{"p": 16, "size": 16}, {"p": 64, "size": 16}],
+            milc_workload.setup,
+            milc_workload.sources(),
+            library_taint=MPI_DATABASE,
+        )
+        assert all(f.function != "do_gather" for f in findings)
+
+
+class TestDesignReductionA:
+    """A1/A2: parameter pruning and design reduction."""
+
+    def test_lulesh_six_to_two_parameters(self, lulesh_run):
+        # modeled parameters are p and size; iters etc. never enter models
+        for fn, cmp in lulesh_run.models.items():
+            assert cmp.hybrid.used_parameters() <= {"p", "size"}
+
+    def test_pipeline_summary_renders(self, lulesh_run):
+        from repro.core import render_summary
+
+        text = render_summary("lulesh", lulesh_run)
+        assert "Functions" in text and "hybrid model" in text

@@ -1,0 +1,211 @@
+"""Fast-path equivalence: closed-form loop execution must match genuine
+iteration exactly — time, loop counts, and call counts."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interp import ExecConfig, Interpreter
+from repro.interp.events import CostKind
+from repro.interp.fastpath import FastPathPlanner, leaf_unit_cost
+from repro.ir import ProgramBuilder, add, call, mul, var
+
+
+def both_runs(prog, args):
+    slow = Interpreter(prog, config=ExecConfig(fast_loops=False)).run(args)
+    fast = Interpreter(prog, config=ExecConfig(fast_loops=True)).run(args)
+    return slow, fast
+
+
+def assert_equivalent(prog, args):
+    slow, fast = both_runs(prog, args)
+    assert slow.time == pytest.approx(fast.time)
+    assert dict(slow.metrics.loop_iterations) == dict(
+        fast.metrics.loop_iterations
+    )
+    for name in prog.functions:
+        assert slow.metrics.calls_of(name) == fast.metrics.calls_of(name)
+    assert slow.value == fast.value
+
+
+def cost_nest_program(depth=2, with_calls=True):
+    pb = ProgramBuilder()
+    with pb.function("getter", ["i"], kind="accessor") as f:
+        f.assign("v", mul(var("i"), 2.0))
+        f.work(2)
+        f.ret(var("v"))
+    with pb.function("main", ["n", "m"]) as f:
+        outer = f.for_("i", 0, f.var("n"))
+        with outer:
+            f.work(5)
+            if with_calls:
+                f.call("getter", f.var("i"))
+            with f.for_("j", 0, f.var("m")):
+                f.mem_work(3)
+    return pb.build(entry="main")
+
+
+class TestEquivalence:
+    @given(
+        n=st.integers(min_value=0, max_value=40),
+        m=st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_nest_equivalence(self, n, m):
+        assert_equivalent(cost_nest_program(), {"n": n, "m": m})
+
+    def test_empty_loop(self):
+        assert_equivalent(cost_nest_program(), {"n": 0, "m": 5})
+
+    def test_fractional_bounds(self):
+        pb = ProgramBuilder()
+        with pb.function("main", ["n"]) as f:
+            with f.for_("i", 0, f.var("n"), 2):
+                f.work(1)
+        prog = pb.build(entry="main")
+        assert_equivalent(prog, {"n": 7})
+
+    def test_loop_var_final_value(self):
+        pb = ProgramBuilder()
+        with pb.function("main", ["n"]) as f:
+            with f.for_("i", 0, f.var("n"), 3):
+                f.work(1)
+            f.ret(var("i"))
+        prog = pb.build(entry="main")
+        slow, fast = both_runs(prog, {"n": 10})
+        assert slow.value == fast.value
+
+    def test_invariant_cost_amount(self):
+        pb = ProgramBuilder()
+        with pb.function("main", ["n", "c"]) as f:
+            with f.for_("i", 0, f.var("n")):
+                f.work(mul(var("c"), 3))
+        prog = pb.build(entry="main")
+        assert_equivalent(prog, {"n": 9, "c": 4})
+
+
+class TestFastPathSpeed:
+    def test_huge_nest_is_instant(self):
+        prog = cost_nest_program()
+        res = Interpreter(prog).run({"n": 10**6, "m": 10**6})
+        assert res.metrics.iterations_of("main", 1) == 10**12
+        # slow path would need 10^12 steps; the fast path uses O(1)
+        assert res.steps < 1000
+
+
+class TestEligibility:
+    def test_store_in_body_disables(self):
+        pb = ProgramBuilder()
+        with pb.function("main", ["n"]) as f:
+            f.alloc("a", 100)
+            with f.for_("i", 0, 50):
+                f.store("a", var("i"), 1)
+        prog = pb.build(entry="main")
+        planner = FastPathPlanner(prog, ExecConfig())
+        loop = prog.function("main").loops()[0]
+        assert planner.plan("main", loop) is None
+
+    def test_assign_in_body_disables(self):
+        pb = ProgramBuilder()
+        with pb.function("main", ["n"]) as f:
+            with f.for_("i", 0, f.var("n")):
+                f.assign("x", var("i"))
+        prog = pb.build(entry="main")
+        planner = FastPathPlanner(prog, ExecConfig())
+        loop = prog.function("main").loops()[0]
+        assert planner.plan("main", loop) is None
+
+    def test_loop_var_in_cost_amount_disables(self):
+        pb = ProgramBuilder()
+        with pb.function("main", ["n"]) as f:
+            with f.for_("i", 0, f.var("n")):
+                f.work(var("i"))
+        prog = pb.build(entry="main")
+        planner = FastPathPlanner(prog, ExecConfig())
+        loop = prog.function("main").loops()[0]
+        assert planner.plan("main", loop) is None
+        # ...but the program still runs correctly on the slow path
+        res = Interpreter(prog).run({"n": 5})
+        assert res.metrics.iterations_of("main", 0) == 5
+
+    def test_call_to_looping_function_disables(self):
+        pb = ProgramBuilder()
+        with pb.function("loopy", ["x"]) as f:
+            with f.for_("j", 0, 3):
+                f.work(1)
+        with pb.function("main", ["n"]) as f:
+            with f.for_("i", 0, f.var("n")):
+                f.call("loopy", f.var("i"))
+        prog = pb.build(entry="main")
+        planner = FastPathPlanner(prog, ExecConfig())
+        loop = prog.function("main").loops()[0]
+        assert planner.plan("main", loop) is None
+        # slow and fast interpreters still agree (fast falls back)
+        assert_equivalent(prog, {"n": 4})
+
+    def test_call_in_bound_disables(self):
+        pb = ProgramBuilder()
+        with pb.function("bound", []) as f:
+            f.ret(5)
+        with pb.function("main", []) as f:
+            with f.for_("i", 0, call("bound")):
+                f.work(1)
+        prog = pb.build(entry="main")
+        planner = FastPathPlanner(prog, ExecConfig())
+        loop = prog.function("main").loops()[0]
+        assert planner.plan("main", loop) is None
+
+    def test_inner_bound_depending_on_outer_var_disables(self):
+        pb = ProgramBuilder()
+        with pb.function("main", ["n"]) as f:
+            with f.for_("i", 0, f.var("n")):
+                with f.for_("j", 0, f.var("i")):  # triangular
+                    f.work(1)
+        prog = pb.build(entry="main")
+        planner = FastPathPlanner(prog, ExecConfig())
+        loop = prog.function("main").loops()[0]
+        assert planner.plan("main", loop) is None
+        assert_equivalent(prog, {"n": 6})
+
+
+class TestLeafCost:
+    def test_accessor_is_leaf(self):
+        prog = cost_nest_program()
+        cost = leaf_unit_cost(prog.function("getter"), ExecConfig())
+        assert cost is not None
+        # Assign + ExprStmt(work 2): 1 + (1 + 2) compute
+        assert cost.compute == 4.0
+        assert cost.memory == 0.0
+
+    def test_looping_function_not_leaf(self):
+        pb = ProgramBuilder()
+        with pb.function("f", ["n"]) as f:
+            with f.for_("i", 0, f.var("n")):
+                f.work(1)
+        prog = pb.build(entry="f")
+        assert leaf_unit_cost(prog.function("f"), ExecConfig()) is None
+
+    def test_calling_function_not_leaf(self):
+        pb = ProgramBuilder()
+        with pb.function("g", []) as f:
+            f.work(1)
+        with pb.function("f", []) as f:
+            f.call("g")
+        prog = pb.build(entry="f")
+        assert leaf_unit_cost(prog.function("f"), ExecConfig()) is None
+
+    def test_variable_cost_not_leaf(self):
+        pb = ProgramBuilder()
+        with pb.function("f", ["x"]) as f:
+            f.work(var("x"))
+        prog = pb.build(entry="f")
+        assert leaf_unit_cost(prog.function("f"), ExecConfig()) is None
+
+    def test_mem_work_split(self):
+        pb = ProgramBuilder()
+        with pb.function("f", []) as f:
+            f.mem_work(7)
+        prog = pb.build(entry="f")
+        cost = leaf_unit_cost(prog.function("f"), ExecConfig())
+        assert cost.memory == 7.0
+        assert cost.compute == 1.0  # the ExprStmt itself

@@ -1,0 +1,86 @@
+"""Metrics collection and event fan-out tests."""
+
+from repro.interp import Interpreter, MetricsCollector, MultiListener
+from repro.interp.events import CostKind, NullListener
+from repro.ir import ProgramBuilder, var
+
+
+def sample_program():
+    pb = ProgramBuilder()
+    with pb.function("child", []) as f:
+        f.work(10)
+    with pb.function("main", ["n"]) as f:
+        f.mem_work(5)
+        with f.for_("i", 0, f.var("n")):
+            f.work(1)
+        f.call("child")
+    return pb.build(entry="main")
+
+
+class TestMetricsCollector:
+    def test_exclusive_attribution(self):
+        res = Interpreter(sample_program()).run({"n": 4})
+        m = res.metrics
+        # child's work lands on child, not main
+        assert m.functions["child"].compute >= 10
+        assert m.functions["main"].memory == 5
+
+    def test_call_counts(self):
+        res = Interpreter(sample_program()).run({"n": 4})
+        assert res.metrics.calls_of("child") == 1
+        assert res.metrics.calls_of("main") == 1
+        assert res.metrics.calls_of("ghost") == 0
+
+    def test_loop_iterations(self):
+        res = Interpreter(sample_program()).run({"n": 4})
+        assert res.metrics.iterations_of("main", 0) == 4
+        assert res.metrics.iterations_of("main", 99) == 0
+
+    def test_total_time_is_sum(self):
+        res = Interpreter(sample_program()).run({"n": 4})
+        total = sum(res.metrics.totals.values())
+        assert res.time == total
+
+    def test_standalone_collector(self):
+        c = MetricsCollector()
+        c.on_enter("f")
+        c.on_cost(CostKind.COMPUTE, 5.0)
+        c.on_aggregate_calls("leaf", 10, 2.0, 1.0)
+        c.on_exit("f")
+        assert c.functions["f"].compute == 5.0
+        assert c.functions["leaf"].calls == 10
+        assert c.functions["leaf"].compute == 20.0
+        assert c.functions["leaf"].memory == 10.0
+        assert c.totals[CostKind.MEMORY] == 10.0
+
+    def test_snapshot_is_copy(self):
+        c = MetricsCollector()
+        c.on_enter("f")
+        snap = c.snapshot()
+        c.on_enter("g")
+        assert "g" not in snap
+
+
+class TestListeners:
+    def test_multi_listener_broadcasts(self):
+        a, b = MetricsCollector(), MetricsCollector()
+        fan = MultiListener(a, b)
+        Interpreter(sample_program(), listener=fan).run({"n": 2})
+        assert a.functions.keys() == b.functions.keys()
+        assert a.totals == b.totals
+
+    def test_null_listener_is_noop(self):
+        lst = NullListener()
+        lst.on_enter("f")
+        lst.on_cost(CostKind.COMM, 1.0)
+        lst.on_exit("f")
+        lst.on_loop_iterations("f", 0, 1)
+        lst.on_aggregate_calls("g", 1, 1.0, 0.0)
+
+    def test_listener_sees_same_events_as_metrics(self):
+        collector = MetricsCollector()
+        res = Interpreter(sample_program(), listener=collector).run({"n": 3})
+        assert collector.totals == res.metrics.totals
+        assert dict(collector.loop_iterations) == dict(
+            res.metrics.loop_iterations
+        )

@@ -1,0 +1,114 @@
+"""Call graph and pretty-printer tests."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import ProgramBuilder, build_callgraph, call, var
+from repro.ir.printer import format_expr, format_function, format_program
+
+
+def linear_chain():
+    pb = ProgramBuilder()
+    with pb.function("c", []) as f:
+        f.work(1)
+    with pb.function("b", []) as f:
+        f.call("c")
+    with pb.function("a", []) as f:
+        f.call("b")
+        f.call("MPI_Barrier")
+    return pb.build(entry="a")
+
+
+def recursive_program():
+    pb = ProgramBuilder()
+    with pb.function("f", ["n"]) as f:
+        with f.if_(var("n")):
+            f.call("f", 0)
+    return pb.build(entry="f")
+
+
+class TestCallGraph:
+    def test_edges(self):
+        cg = build_callgraph(linear_chain())
+        assert cg.callees("a") == frozenset({"b"})
+        assert cg.callers("c") == frozenset({"b"})
+
+    def test_externals(self):
+        cg = build_callgraph(linear_chain())
+        assert cg.externals_of("a") == frozenset({"MPI_Barrier"})
+        assert cg.transitive_externals("a") == frozenset({"MPI_Barrier"})
+
+    def test_no_recursion(self):
+        cg = build_callgraph(linear_chain())
+        assert not cg.has_recursion
+        assert cg.recursive_functions() == frozenset()
+
+    def test_self_recursion_detected(self):
+        cg = build_callgraph(recursive_program())
+        assert cg.has_recursion
+        assert "f" in cg.recursive_functions()
+
+    def test_mutual_recursion_detected(self):
+        pb = ProgramBuilder()
+        with pb.function("even", ["n"]) as f:
+            f.call("odd", var("n"))
+        with pb.function("odd", ["n"]) as f:
+            f.call("even", var("n"))
+        with pb.function("main", []) as f:
+            f.call("even", 4)
+        cg = build_callgraph(pb.build(entry="main"))
+        assert cg.recursive_functions() == frozenset({"even", "odd"})
+
+    def test_topological_order_callee_first(self):
+        cg = build_callgraph(linear_chain())
+        order = cg.topological_order()
+        assert order.index("c") < order.index("b") < order.index("a")
+
+    def test_topological_order_raises_on_recursion(self):
+        cg = build_callgraph(recursive_program())
+        with pytest.raises(IRError):
+            cg.topological_order()
+
+    def test_reachable_from(self):
+        cg = build_callgraph(linear_chain())
+        assert cg.reachable_from("b") == frozenset({"b", "c"})
+
+    def test_lulesh_acyclic(self, lulesh_program):
+        assert not build_callgraph(lulesh_program).has_recursion
+
+
+class TestPrinter:
+    def test_expr_minimal_parens(self):
+        from repro.ir.builder import add, mul
+
+        text = format_expr(mul(add(var("a"), 1), var("b")))
+        assert text == "(a + 1) * b"
+
+    def test_expr_no_redundant_parens(self):
+        from repro.ir.builder import add, mul
+
+        text = format_expr(add(mul(var("a"), 2), var("b")))
+        assert text == "a * 2 + b"
+
+    def test_function_renders_loops_and_ids(self):
+        prog = linear_chain()
+        pb = ProgramBuilder()
+        with pb.function("k", ["n"]) as f:
+            with f.for_("i", 0, f.var("n")):
+                f.work(3)
+        prog = pb.build(entry="k")
+        text = format_function(prog.function("k"))
+        assert "for i in" in text
+        assert "# loop 0" in text
+        assert "@work(3" in text
+
+    def test_program_round_stability(self):
+        prog = linear_chain()
+        assert format_program(prog) == format_program(prog)
+
+    def test_program_entry_first(self):
+        text = format_program(linear_chain())
+        assert text.index("def a(") < text.index("def b(")
+
+    def test_call_format(self):
+        assert format_expr(call("f", var("x"), 2)) == "f(x, 2)"

@@ -1,0 +1,188 @@
+"""CFG, dominator, and natural-loop tests."""
+
+import pytest
+
+from repro.ir import ProgramBuilder, build_cfg, var
+from repro.ir.dominators import dominates, dominators, immediate_dominators
+from repro.ir.loops import find_natural_loops, loop_forest
+
+
+def build_fn(populate):
+    pb = ProgramBuilder()
+    with pb.function("f", ["n"]) as f:
+        populate(f)
+    return pb.build(entry="f").function("f")
+
+
+class TestCFG:
+    def test_straight_line(self):
+        fn = build_fn(lambda f: (f.assign("a", 1), f.assign("b", 2)))
+        cfg = build_cfg(fn)
+        assert cfg.entry in cfg.blocks and cfg.exit in cfg.blocks
+        assert cfg.exit in cfg.reachable()
+
+    def test_if_has_two_paths(self):
+        def body(f):
+            with f.if_(var("n")):
+                f.assign("a", 1)
+            with f.else_():
+                f.assign("a", 2)
+
+        cfg = build_cfg(build_fn(body))
+        # Some block has two successors (the condition block).
+        assert any(len(b.succs) == 2 for b in cfg.blocks.values())
+
+    def test_for_creates_header_with_loop_id(self):
+        def body(f):
+            with f.for_("i", 0, f.var("n")):
+                f.work(1)
+
+        cfg = build_cfg(build_fn(body))
+        headers = [b for b in cfg.blocks.values() if b.kind == "loop_header"]
+        assert len(headers) == 1
+        assert headers[0].loop_id == 0
+        assert headers[0].cond is not None
+
+    def test_return_jumps_to_exit(self):
+        def body(f):
+            f.ret(1)
+            f.assign("dead", 1)  # unreachable
+
+        cfg = build_cfg(build_fn(body))
+        assert cfg.exit in cfg.reachable()
+
+    def test_break_exits_loop(self):
+        def body(f):
+            with f.for_("i", 0, f.var("n")):
+                f.brk()
+
+        cfg = build_cfg(build_fn(body))
+        assert cfg.exit in cfg.reachable()
+
+    def test_continue_targets_latch(self):
+        def body(f):
+            with f.for_("i", 0, f.var("n")):
+                f.cont()
+
+        cfg = build_cfg(build_fn(body))
+        forest = find_natural_loops(cfg)
+        assert len(forest.loops) == 1
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        def body(f):
+            with f.for_("i", 0, f.var("n")):
+                f.work(1)
+
+        cfg = build_cfg(build_fn(body))
+        idom = immediate_dominators(cfg)
+        for bid in idom:
+            assert dominates(idom, cfg.entry, cfg.entry, bid)
+
+    def test_idom_of_entry_is_itself(self):
+        cfg = build_cfg(build_fn(lambda f: f.assign("a", 1)))
+        idom = immediate_dominators(cfg)
+        assert idom[cfg.entry] == cfg.entry
+
+    def test_full_dominator_sets_contain_self(self):
+        def body(f):
+            with f.if_(var("n")):
+                f.assign("a", 1)
+
+        cfg = build_cfg(build_fn(body))
+        doms = dominators(cfg)
+        for bid, ds in doms.items():
+            assert bid in ds
+            assert cfg.entry in ds
+
+    def test_branch_blocks_do_not_dominate_join(self):
+        def body(f):
+            with f.if_(var("n")):
+                f.assign("a", 1)
+            with f.else_():
+                f.assign("a", 2)
+            f.assign("b", 3)
+
+        cfg = build_cfg(build_fn(body))
+        doms = dominators(cfg)
+        # The join block's dominators exclude both branch bodies.
+        # Find two blocks with a common successor that both contain stores.
+        joins = [
+            bid
+            for bid in doms
+            if len(cfg.preds(bid)) >= 2 and bid != cfg.exit
+        ]
+        assert joins, "expected a join block"
+
+
+class TestNaturalLoops:
+    def test_single_loop(self):
+        def body(f):
+            with f.for_("i", 0, f.var("n")):
+                f.work(1)
+
+        forest = loop_forest(build_fn(body))
+        assert len(forest.loops) == 1
+        assert forest.is_reducible
+        assert forest.loops[0].ast_loop_id == 0
+
+    def test_nested_loops_parenting(self):
+        def body(f):
+            with f.for_("i", 0, f.var("n")):
+                with f.for_("j", 0, f.var("n")):
+                    f.work(1)
+
+        forest = loop_forest(build_fn(body))
+        assert len(forest.loops) == 2
+        by_ast = forest.by_ast_id()
+        inner, outer = by_ast[1], by_ast[0]
+        inner_idx = forest.loops.index(inner)
+        assert forest.nesting_depth(inner_idx) == 2
+        assert inner.body < outer.body
+
+    def test_sequential_loops_are_siblings(self):
+        def body(f):
+            with f.for_("i", 0, f.var("n")):
+                f.work(1)
+            with f.for_("j", 0, f.var("n")):
+                f.work(1)
+
+        forest = loop_forest(build_fn(body))
+        assert len(forest.roots()) == 2
+
+    def test_while_loop_detected(self):
+        def body(f):
+            f.assign("i", 0)
+            with f.while_(var("i")):
+                f.assign("i", 1)
+
+        forest = loop_forest(build_fn(body))
+        assert len(forest.loops) == 1
+
+    def test_triple_nest_depths(self):
+        def body(f):
+            with f.for_("i", 0, f.var("n")):
+                with f.for_("j", 0, f.var("n")):
+                    with f.for_("k", 0, f.var("n")):
+                        f.work(1)
+
+        forest = loop_forest(build_fn(body))
+        depths = sorted(
+            forest.nesting_depth(i) for i in range(len(forest.loops))
+        )
+        assert depths == [1, 2, 3]
+
+    def test_loop_with_branch_inside(self):
+        def body(f):
+            with f.for_("i", 0, f.var("n")):
+                with f.if_(var("i")):
+                    f.work(1)
+
+        forest = loop_forest(build_fn(body))
+        assert len(forest.loops) == 1
+        assert forest.is_reducible
+
+    def test_structured_programs_always_reducible(self, lulesh_program):
+        for fn in lulesh_program:
+            assert loop_forest(fn).is_reducible, fn.name

@@ -1,0 +1,100 @@
+"""Expression node tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.expr import (
+    BINARY_OPS,
+    BinOp,
+    Call,
+    Const,
+    Intrinsic,
+    Load,
+    UnOp,
+    Var,
+)
+
+
+class TestConst:
+    def test_free_vars_empty(self):
+        assert Const(3).free_vars() == frozenset()
+
+    def test_children_empty(self):
+        assert Const(3).children() == ()
+
+    def test_equality(self):
+        assert Const(3) == Const(3)
+        assert Const(3) != Const(4)
+
+
+class TestVar:
+    def test_free_vars(self):
+        assert Var("x").free_vars() == frozenset({"x"})
+
+    def test_equality(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+
+
+class TestBinOp:
+    def test_free_vars_union(self):
+        e = BinOp("+", Var("a"), BinOp("*", Var("b"), Const(2)))
+        assert e.free_vars() == frozenset({"a", "b"})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("@@", Var("a"), Var("b"))
+
+    @given(st.sampled_from(sorted(BINARY_OPS)))
+    def test_all_listed_ops_construct(self, op):
+        BinOp(op, Const(1), Const(2))
+
+    def test_walk_preorder(self):
+        e = BinOp("+", Var("a"), Const(1))
+        nodes = list(e.walk())
+        assert nodes[0] is e
+        assert Var("a") in nodes and Const(1) in nodes
+
+
+class TestUnOp:
+    def test_neg_free_vars(self):
+        assert UnOp("-", Var("x")).free_vars() == frozenset({"x"})
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            UnOp("~", Var("x"))
+
+
+class TestLoad:
+    def test_free_vars_include_array(self):
+        e = Load("arr", Var("i"))
+        assert e.free_vars() == frozenset({"arr", "i"})
+
+
+class TestCall:
+    def test_args_tuplified(self):
+        c = Call("f", [Var("x")])
+        assert isinstance(c.args, tuple)
+
+    def test_free_vars(self):
+        c = Call("f", (Var("x"), Const(2), Var("y")))
+        assert c.free_vars() == frozenset({"x", "y"})
+
+    def test_no_args(self):
+        assert Call("f").free_vars() == frozenset()
+
+
+class TestIntrinsic:
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            Intrinsic("frobnicate", (Const(1),))
+
+    def test_cost_flags(self):
+        assert Intrinsic("work", (Const(1),)).is_cost
+        assert Intrinsic("mem_work", (Const(1),)).is_cost
+        assert not Intrinsic("log2", (Const(1),)).is_cost
+
+    def test_free_vars(self):
+        e = Intrinsic("work", (BinOp("*", Var("n"), Const(3)),))
+        assert e.free_vars() == frozenset({"n"})

@@ -1,0 +1,109 @@
+"""Library database tests (paper section 5.3)."""
+
+from repro.libdb import (
+    IMPLICIT_RANKS_PARAM,
+    LibraryDatabase,
+    LibraryEntry,
+    MPI_DATABASE,
+    mpi_database,
+)
+
+
+class TestDatabase:
+    def test_register_and_get(self):
+        db = LibraryDatabase()
+        entry = LibraryEntry("my_routine", implicit_params=frozenset({"q"}))
+        db.register(entry)
+        assert db.get("my_routine") is entry
+        assert db.get("nope") is None
+
+    def test_handles(self):
+        db = mpi_database()
+        assert db.handles("MPI_Allreduce")
+        assert not db.handles("memcpy")
+
+    def test_relevance(self):
+        db = mpi_database()
+        assert db.is_relevant("MPI_Send")
+        assert not db.is_relevant("MPI_Comm_rank")
+        assert not db.is_relevant("unknown")
+
+    def test_relevant_routines_excludes_queries(self):
+        routines = mpi_database().relevant_routines()
+        assert "MPI_Allreduce" in routines
+        assert "MPI_Comm_size" not in routines
+        assert "MPI_Wtime" not in routines
+
+    def test_user_extension(self):
+        db = mpi_database()
+        db.register(
+            LibraryEntry(
+                "cuda_memcpy",
+                implicit_params=frozenset({"gpus"}),
+                count_args=(0,),
+            )
+        )
+        effect = db.effect("cuda_memcpy", (100,), (frozenset({"size"}),))
+        assert effect.dependency_params == frozenset({"gpus", "size"})
+
+
+class TestMPIEffects:
+    def test_comm_size_is_source_of_p(self):
+        effect = MPI_DATABASE.effect("MPI_Comm_size", (), ())
+        assert effect.return_label_params == frozenset({IMPLICIT_RANKS_PARAM})
+        assert effect.dependency_params == frozenset()
+
+    def test_comm_rank_no_effect(self):
+        effect = MPI_DATABASE.effect("MPI_Comm_rank", (), ())
+        assert effect.return_label_params == frozenset()
+        assert effect.dependency_params == frozenset()
+
+    def test_send_depends_on_p_and_count_labels(self):
+        effect = MPI_DATABASE.effect(
+            "MPI_Send", (64,), (frozenset({"size"}),)
+        )
+        assert effect.dependency_params == frozenset({"p", "size"})
+
+    def test_send_clean_count(self):
+        effect = MPI_DATABASE.effect("MPI_Send", (64,), (frozenset(),))
+        assert effect.dependency_params == frozenset({"p"})
+
+    def test_allreduce_count_arg_index(self):
+        # (value, count) convention: count labels at index 1.
+        effect = MPI_DATABASE.effect(
+            "MPI_Allreduce",
+            (1.0, 64),
+            (frozenset({"x"}), frozenset({"size"})),
+        )
+        assert effect.dependency_params == frozenset({"p", "size"})
+
+    def test_barrier_only_p(self):
+        effect = MPI_DATABASE.effect("MPI_Barrier", (), ())
+        assert effect.dependency_params == frozenset({"p"})
+
+    def test_all_runtime_routines_covered(self):
+        """Every routine the simulated runtime implements is described in
+        the database (no silent taint gaps)."""
+        from repro.mpisim import MPIConfig, MPIRuntime
+
+        rt = MPIRuntime(MPIConfig(ranks=2))
+        for name in (
+            "MPI_Comm_size",
+            "MPI_Comm_rank",
+            "MPI_Send",
+            "MPI_Recv",
+            "MPI_Isend",
+            "MPI_Irecv",
+            "MPI_Wait",
+            "MPI_Bcast",
+            "MPI_Reduce",
+            "MPI_Allreduce",
+            "MPI_Allgather",
+            "MPI_Gather",
+            "MPI_Scatter",
+            "MPI_Alltoall",
+            "MPI_Barrier",
+            "MPI_Wtime",
+        ):
+            assert rt.handles(name), name
+            assert MPI_DATABASE.handles(name), name

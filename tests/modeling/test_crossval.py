@@ -1,0 +1,73 @@
+"""Cross-validation tests: CV separates real models from fitted noise."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelingError
+from repro.modeling import Modeler, SearchPrior, fit_constant
+from repro.modeling.crossval import compare_models, kfold_smape, loocv_smape
+
+X = np.array(
+    [[p, s] for p in (4, 8, 16, 32, 64) for s in (16, 24, 32, 40, 48)],
+    dtype=float,
+)
+
+
+class TestLOOCV:
+    def test_true_model_low_cv(self):
+        y = 2 * X[:, 0] + 100
+        model = Modeler().model(X, y, ("p", "size"))
+        assert loocv_smape(X, y, model) < 0.02
+
+    def test_constant_on_constant_data(self):
+        y = np.full(len(X), 50.0)
+        model = fit_constant(X, y, ("p", "size"))
+        assert loocv_smape(X, y, model) == pytest.approx(0.0)
+
+    def test_noise_model_worse_than_constant(self):
+        """The B1 story in CV form: on noisy constant data, the black-box
+        parametric model does not generalize better than the constant."""
+        rng = np.random.default_rng(8)
+        y = 100 + np.abs(rng.normal(0, 25, len(X)))
+        bb = Modeler().model(X, y, ("p", "size"))
+        const = Modeler().model(
+            X, y, ("p", "size"), SearchPrior.constant()
+        )
+        if bb.is_constant:
+            pytest.skip("black-box already chose constant on this seed")
+        result = compare_models(X, y, const, bb)
+        # constant's CV error within noise of (or better than) black-box
+        assert result["a"] <= result["b"] * 1.25
+
+    def test_too_few_points_rejected(self):
+        small = X[:2]
+        model = fit_constant(small, np.array([1.0, 2.0]), ("p", "size"))
+        with pytest.raises(ModelingError):
+            loocv_smape(small[:1], np.array([1.0]), model)
+
+
+class TestKFold:
+    def test_matches_loocv_on_clean_data(self):
+        y = 3 * X[:, 1] ** 2 + 10
+        model = Modeler().model(X, y, ("p", "size"))
+        loo = loocv_smape(X, y, model)
+        kf = kfold_smape(X, y, model, k=5)
+        assert abs(loo - kf) < 0.05
+
+    def test_k_clamped_to_n(self):
+        y = 2 * X[:5, 0] + 1
+        model = Modeler().model(X[:5], y, ("p", "size"))
+        kfold_smape(X[:5], y, model, k=50)  # must not raise
+
+    def test_k1_rejected(self):
+        y = np.ones(1)
+        model = fit_constant(X[:1], y, ("p", "size"))
+        with pytest.raises(ModelingError):
+            kfold_smape(X[:1], y, model, k=1)
+
+    def test_deterministic_given_seed(self):
+        y = 2 * X[:, 0] + 5
+        model = Modeler().model(X, y, ("p", "size"))
+        a = kfold_smape(X, y, model, k=4, seed=3)
+        b = kfold_smape(X, y, model, k=4, seed=3)
+        assert a == b

@@ -1,0 +1,253 @@
+"""Modeling tests: PMNF terms, fitting, single/multi-parameter search,
+priors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelingError
+from repro.modeling import (
+    DEFAULT_I,
+    DEFAULT_J,
+    Modeler,
+    SearchPrior,
+    TermRestrictions,
+    TermSpec,
+    candidate_terms,
+    fit_constant,
+    fit_hypothesis,
+    product_term,
+    search_single_parameter,
+    single_param_term,
+    smape,
+)
+
+X1 = np.array([4.0, 8.0, 16.0, 32.0, 64.0]).reshape(-1, 1)
+
+
+class TestTerms:
+    def test_search_space_matches_paper(self):
+        assert len(DEFAULT_I) == 18
+        assert DEFAULT_J == (0, 1, 2)
+        # per parameter: |I x J| - 1 trivial = 53 candidate terms
+        assert len(candidate_terms(1, 0)) == 53
+
+    def test_evaluate_polynomial(self):
+        term = single_param_term(0, 1, 2.0, 0)
+        np.testing.assert_allclose(term.evaluate(X1), X1[:, 0] ** 2)
+
+    def test_evaluate_log(self):
+        term = single_param_term(0, 1, 0.0, 1)
+        np.testing.assert_allclose(term.evaluate(X1), np.log2(X1[:, 0]))
+
+    def test_evaluate_poly_log(self):
+        term = single_param_term(0, 1, 0.5, 2)
+        expected = np.sqrt(X1[:, 0]) * np.log2(X1[:, 0]) ** 2
+        np.testing.assert_allclose(term.evaluate(X1), expected)
+
+    def test_multi_param_term(self):
+        term = TermSpec(((1.0, 0), (3.0, 0)))
+        X = np.array([[2.0, 3.0], [4.0, 5.0]])
+        np.testing.assert_allclose(
+            term.evaluate(X), X[:, 0] * X[:, 1] ** 3
+        )
+
+    def test_product_term_adds_exponents(self):
+        a = single_param_term(0, 2, 0.5, 1)
+        b = single_param_term(1, 2, 3.0, 0)
+        prod = product_term([a, b])
+        assert prod.exponents == ((0.5, 1), (3.0, 0))
+
+    def test_uses(self):
+        term = TermSpec(((1.0, 0), (0.0, 0), (0.0, 2)))
+        assert term.uses() == frozenset({0, 2})
+
+    def test_format(self):
+        term = TermSpec(((0.5, 0), (0.0, 1)))
+        assert term.format(("p", "s")) == "p^0.5 * log2(s)"
+        assert TermSpec(((0.0, 0),)).format(("p",)) == "1"
+
+
+class TestFitting:
+    def test_fit_exact(self):
+        term = single_param_term(0, 1, 2.0, 0)
+        y = 3 * X1[:, 0] ** 2 + 7
+        model = fit_hypothesis(X1, y, ("p",), (term,))
+        assert model is not None
+        assert model.coefficients[0] == pytest.approx(7.0)
+        assert model.coefficients[1] == pytest.approx(3.0)
+        assert model.stats.rss == pytest.approx(0.0, abs=1e-6)
+
+    def test_negative_coefficient_rejected(self):
+        term = single_param_term(0, 1, 1.0, 0)
+        y = 100 - 2 * X1[:, 0]
+        assert fit_hypothesis(X1, y, ("p",), (term,)) is None
+
+    def test_negative_allowed_when_requested(self):
+        term = single_param_term(0, 1, 1.0, 0)
+        y = 100 - 2 * X1[:, 0]
+        model = fit_hypothesis(
+            X1, y, ("p",), (term,), require_nonnegative=False
+        )
+        assert model is not None
+
+    def test_underdetermined_rejected(self):
+        terms = tuple(
+            single_param_term(0, 1, float(i), 0) for i in (1, 2, 3, 4, 5)
+        )
+        assert fit_hypothesis(X1, X1[:, 0], ("p",), terms) is None
+
+    def test_constant_column_rejected(self):
+        term = single_param_term(0, 1, 0.0, 0)  # trivial
+        assert (
+            fit_hypothesis(X1, X1[:, 0], ("p",), (TermSpec(((0.0, 0),)),))
+            is None
+        )
+
+    def test_fit_constant(self):
+        model = fit_constant(X1, np.full(5, 42.0), ("p",))
+        assert model.is_constant
+        assert model.predict(X1)[0] == 42.0
+
+    def test_fit_constant_empty_raises(self):
+        with pytest.raises(ModelingError):
+            fit_constant(np.empty((0, 1)), np.array([]), ("p",))
+
+    def test_smape_bounds(self):
+        assert smape(np.array([1.0, 2.0]), np.array([1.0, 2.0])) == 0.0
+        assert 0 < smape(np.array([1.0]), np.array([3.0])) <= 2.0
+
+    def test_predict_one(self):
+        term = single_param_term(0, 1, 1.0, 0)
+        model = fit_hypothesis(X1, 2 * X1[:, 0] + 1, ("p",), (term,))
+        assert model.predict_one({"p": 10}) == pytest.approx(21.0)
+
+
+class TestSingleParameterSearch:
+    def recover(self, fn, atol_exp=0.26):
+        x = X1[:, 0]
+        y = fn(x)
+        return search_single_parameter(x, y, "p")
+
+    def test_recovers_linear(self):
+        model = self.recover(lambda x: 5 * x + 100)
+        assert model.used_parameters() == frozenset({"p"})
+        assert model.predict_one({"p": 128}) == pytest.approx(740, rel=0.05)
+
+    def test_recovers_quadratic(self):
+        model = self.recover(lambda x: 0.5 * x**2 + 10)
+        assert model.predict_one({"p": 128}) == pytest.approx(
+            0.5 * 128**2 + 10, rel=0.05
+        )
+
+    def test_recovers_log(self):
+        model = self.recover(lambda x: 7 * np.log2(x) + 3)
+        assert model.predict_one({"p": 1024}) == pytest.approx(73, rel=0.05)
+
+    def test_recovers_nlogn(self):
+        model = self.recover(lambda x: 2 * x * np.log2(x))
+        assert model.predict_one({"p": 256}) == pytest.approx(
+            2 * 256 * 8, rel=0.1
+        )
+
+    def test_constant_data_gives_constant(self):
+        model = self.recover(lambda x: np.full_like(x, 5.0))
+        assert model.is_constant
+
+    @given(
+        exponent=st.sampled_from([0.5, 1.0, 1.5, 2.0, 3.0]),
+        coef=st.floats(min_value=0.1, max_value=100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_extrapolation_property(self, exponent, coef):
+        """Fitted models extrapolate cleanly to 4x the largest sample."""
+        x = X1[:, 0]
+        y = coef * x**exponent + 5
+        model = search_single_parameter(x, y, "p")
+        true = coef * 256.0**exponent + 5
+        assert model.predict_one({"p": 256}) == pytest.approx(true, rel=0.15)
+
+
+class TestMultiParameterSearch:
+    def grid(self):
+        from itertools import product
+
+        ps = [4, 8, 16, 32, 64]
+        ss = [16, 24, 32, 40, 48]
+        return np.array(list(product(ps, ss)), dtype=float)
+
+    def test_recovers_multiplicative(self):
+        X = self.grid()
+        y = 1e-3 * X[:, 0] ** 0.5 * X[:, 1] ** 3 + 50
+        model = Modeler().model(X, y, ("p", "size"))
+        assert model.used_parameters() == frozenset({"p", "size"})
+        pred = model.predict_one({"p": 128, "size": 64})
+        assert pred == pytest.approx(1e-3 * 128**0.5 * 64**3 + 50, rel=0.1)
+
+    def test_recovers_additive(self):
+        X = self.grid()
+        y = 3 * X[:, 0] + 100 * np.log2(X[:, 1]) + 7
+        model = Modeler().model(X, y, ("p", "size"))
+        pred = model.predict_one({"p": 128, "size": 96})
+        assert pred == pytest.approx(3 * 128 + 100 * np.log2(96) + 7, rel=0.1)
+
+    def test_restriction_excludes_parameter(self):
+        X = self.grid()
+        rng = np.random.default_rng(3)
+        y = 2 * X[:, 1] ** 2 + rng.normal(0, 20, len(X))
+        prior = SearchPrior(allowed_params=frozenset({"size"}))
+        model = Modeler().model(X, y, ("p", "size"), prior)
+        assert "p" not in model.used_parameters()
+
+    def test_restriction_forbids_products(self):
+        X = self.grid()
+        y = 3 * X[:, 0] + 5 * X[:, 1] + 10
+        prior = SearchPrior(
+            allowed_params=frozenset({"p", "size"}),
+            multiplicative_pairs=frozenset(),
+        )
+        model = Modeler().model(X, y, ("p", "size"), prior)
+        for term in model.terms:
+            assert len(term.uses()) <= 1  # no cross terms
+
+    def test_forced_constant(self):
+        X = self.grid()
+        rng = np.random.default_rng(0)
+        y = 100 + rng.normal(0, 10, len(X))
+        model = Modeler().model(X, y, ("p", "size"), SearchPrior.constant())
+        assert model.is_constant
+        assert model.metadata["prior"] == "constant"
+
+    def test_black_box_overfits_noisy_constant(self):
+        """The B1 phenomenon: without the prior, noise earns a model."""
+        X = self.grid()
+        rng = np.random.default_rng(1)
+        y = 100 + np.abs(rng.normal(0, 20, len(X)))
+        bb = Modeler().model(X, y, ("p", "size"))
+        assert bb.used_parameters()  # spurious dependency appears
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ModelingError):
+            Modeler().model(X1, np.ones(3), ("p",))
+        with pytest.raises(ModelingError):
+            Modeler().model(X1, np.ones(5), ("p", "q"))
+
+
+class TestRestrictions:
+    def test_param_allowed(self):
+        r = TermRestrictions(allowed_params=frozenset({"a"}))
+        assert r.param_allowed("a") and not r.param_allowed("b")
+
+    def test_product_allowed(self):
+        r = TermRestrictions(
+            multiplicative_pairs=frozenset({frozenset({"a", "b"})})
+        )
+        assert r.product_allowed(frozenset({"a", "b"}))
+        assert not r.product_allowed(frozenset({"a", "c"}))
+        assert not r.product_allowed(frozenset({"a", "b", "c"}))
+
+    def test_unrestricted(self):
+        r = TermRestrictions()
+        assert r.param_allowed("anything")
+        assert r.product_allowed(frozenset({"x", "y", "z"}))

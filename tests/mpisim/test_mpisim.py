@@ -1,0 +1,177 @@
+"""MPI simulation substrate tests: network, collectives, contention,
+runtime."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InterpreterError
+from repro.interp.events import CostKind
+from repro.mpisim import (
+    BandwidthSaturationContention,
+    LogQuadraticContention,
+    MPIConfig,
+    MPIRuntime,
+    NetworkModel,
+    NoContention,
+    allgather_cost,
+    allreduce_cost,
+    alltoall_cost,
+    barrier_cost,
+    bcast_cost,
+    gather_cost,
+    reduce_cost,
+    sendrecv_cost,
+)
+
+NET = NetworkModel(latency=1000.0, byte_cost=0.1, reduce_cost=0.02)
+
+
+class TestNetworkModel:
+    def test_ptp_cost(self):
+        assert NET.ptp_cost(0) == 1000.0
+        assert NET.ptp_cost(100) == 1000.0 + 100 * 8 * 0.1
+
+    def test_message_bytes(self):
+        assert NET.message_bytes(10) == 80.0
+        assert NET.message_bytes(-5) == 0.0
+
+    def test_with_latency(self):
+        assert NET.with_latency(5.0).latency == 5.0
+        assert NET.with_latency(5.0).byte_cost == NET.byte_cost
+
+
+class TestCollectiveCosts:
+    def test_single_rank_free(self):
+        for fn in (bcast_cost, reduce_cost, allreduce_cost, allgather_cost,
+                   gather_cost, alltoall_cost):
+            assert fn(1, 100, NET) == 0.0
+        assert barrier_cost(1, NET) == 0.0
+
+    def test_bcast_log_scaling(self):
+        c4 = bcast_cost(4, 10, NET)
+        c16 = bcast_cost(16, 10, NET)
+        assert c16 == pytest.approx(2 * c4)
+
+    def test_allreduce_includes_reduction(self):
+        assert allreduce_cost(4, 100, NET) > bcast_cost(4, 100, NET)
+
+    def test_allgather_linear_in_p(self):
+        c8 = allgather_cost(8, 10, NET)
+        c64 = allgather_cost(64, 10, NET)
+        assert c64 > 6 * c8  # (p-1) scaling dominates
+
+    def test_alltoall_most_expensive_large_p(self):
+        p, n = 64, 100
+        # Ring allgather moves the same total volume as pairwise alltoall
+        # under alpha-beta, so >= (equality is the analytic coincidence).
+        assert alltoall_cost(p, n, NET) >= allgather_cost(p, n, NET)
+        assert alltoall_cost(p, n, NET) > bcast_cost(p, n, NET)
+
+    @given(
+        p=st.sampled_from([2, 4, 8, 16, 32, 64, 128]),
+        count=st.floats(min_value=0, max_value=1e6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_costs_nonnegative_and_finite(self, p, count):
+        for fn in (bcast_cost, reduce_cost, allreduce_cost, allgather_cost,
+                   gather_cost, alltoall_cost):
+            cost = fn(p, count, NET)
+            assert cost >= 0 and math.isfinite(cost)
+
+    @given(p=st.integers(min_value=2, max_value=256))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_p(self, p):
+        assert barrier_cost(2 * p, NET) >= barrier_cost(p, NET)
+        assert allgather_cost(2 * p, 10, NET) >= allgather_cost(p, 10, NET)
+
+
+class TestContention:
+    def test_no_contention(self):
+        assert NoContention().factor(64) == 1.0
+
+    def test_logquad_single_rank_free(self):
+        assert LogQuadraticContention().factor(1) == 1.0
+
+    def test_logquad_growth(self):
+        model = LogQuadraticContention(beta=0.06)
+        assert model.factor(18) == pytest.approx(
+            1 + 0.06 * math.log2(18) ** 2
+        )
+        assert model.factor(32) > model.factor(16) > model.factor(2)
+
+    def test_saturation_model(self):
+        model = BandwidthSaturationContention(saturation_ranks=4)
+        assert model.factor(2) == 1.0
+        assert model.factor(4) == 1.0
+        assert model.factor(8) == 2.0
+
+    @given(r=st.integers(min_value=1, max_value=256))
+    @settings(max_examples=30, deadline=None)
+    def test_factors_at_least_one(self, r):
+        for model in (NoContention(), LogQuadraticContention(),
+                      BandwidthSaturationContention()):
+            assert model.factor(r) >= 1.0
+
+
+class TestMPIRuntime:
+    def runtime(self, p=8):
+        return MPIRuntime(MPIConfig(ranks=p))
+
+    def test_handles_known(self):
+        rt = self.runtime()
+        assert rt.handles("MPI_Allreduce")
+        assert rt.handles("MPI_Comm_size")
+        assert not rt.handles("MPI_Frobnicate")
+        assert not rt.handles("printf")
+
+    def test_comm_size_rank(self):
+        rt = self.runtime(16)
+        assert rt.call("MPI_Comm_size", ()).value == 16
+        assert rt.call("MPI_Comm_rank", ()).value == 0
+
+    def test_send_cost(self):
+        rt = self.runtime()
+        result = rt.call("MPI_Send", (100,))
+        assert result.costs[CostKind.COMM] == sendrecv_cost(100, rt.config.network)
+
+    def test_allreduce_returns_value(self):
+        rt = self.runtime(4)
+        result = rt.call("MPI_Allreduce", (3.5, 10))
+        assert result.value == 3.5
+        assert result.costs[CostKind.COMM] == allreduce_cost(
+            4, 10, rt.config.network
+        )
+
+    def test_isend_wait_split(self):
+        rt = self.runtime()
+        startup = rt.call("MPI_Isend", (100,)).costs[CostKind.COMM]
+        transfer = rt.call("MPI_Wait", (100,)).costs[CostKind.COMM]
+        assert startup + transfer == pytest.approx(
+            sendrecv_cost(100, rt.config.network)
+        )
+
+    def test_call_counts_tracked(self):
+        rt = self.runtime()
+        rt.call("MPI_Barrier", ())
+        rt.call("MPI_Barrier", ())
+        assert rt.call_counts["MPI_Barrier"] == 2
+
+    def test_nonnumeric_count_rejected(self):
+        rt = self.runtime()
+        from repro.interp.values import Array
+
+        with pytest.raises(InterpreterError):
+            rt.call("MPI_Send", (Array(3),))
+
+    def test_wtime_and_init(self):
+        rt = self.runtime()
+        assert rt.call("MPI_Wtime", ()).value == 0.0
+        assert rt.call("MPI_Init", ()).costs == {}
+
+    def test_barrier_scales_with_p(self):
+        c2 = MPIRuntime(MPIConfig(ranks=2)).call("MPI_Barrier", ())
+        c64 = MPIRuntime(MPIConfig(ranks=64)).call("MPI_Barrier", ())
+        assert c64.costs[CostKind.COMM] > c2.costs[CostKind.COMM]

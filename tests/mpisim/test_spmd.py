@@ -1,0 +1,111 @@
+"""SPMD per-rank simulation tests."""
+
+import pytest
+
+from repro.ir import ProgramBuilder, call, eq, lt, mul, var
+from repro.libdb import MPI_DATABASE
+from repro.mpisim.spmd import SPMDSimulator
+
+
+def symmetric_program():
+    pb = ProgramBuilder()
+    with pb.function("main", ["n"]) as f:
+        f.assign("p", call("MPI_Comm_size"))
+        with f.for_("i", 0, f.var("n")):
+            f.work(10)
+        f.call("MPI_Barrier")
+        f.ret(f.var("p"))
+    return pb.build(entry="main")
+
+
+def skewed_program():
+    """Rank 0 does extra master work (load imbalance)."""
+    pb = ProgramBuilder()
+    with pb.function("main", ["n"]) as f:
+        f.assign("rank", call("MPI_Comm_rank"))
+        with f.for_("i", 0, f.var("n")):
+            f.work(10)
+        with f.if_(eq(var("rank"), 0)):
+            with f.for_("i", 0, mul(var("n"), 3)):
+                f.work(10)
+    return pb.build(entry="main")
+
+
+def rank_branch_program():
+    """Low ranks take a parameter-dependent extra loop."""
+    pb = ProgramBuilder()
+    with pb.function("main", ["n"]) as f:
+        f.assign("rank", call("MPI_Comm_rank"))
+        with f.if_(lt(var("rank"), 1)):
+            with f.for_("i", 0, f.var("n")):
+                f.work(5)
+    return pb.build(entry="main")
+
+
+class TestSPMDRun:
+    def test_symmetric_ranks_identical(self):
+        sim = SPMDSimulator(symmetric_program(), ranks=4)
+        result = sim.run({"n": 10})
+        assert result.ranks == 4
+        times = set(result.per_rank_time.values())
+        assert len(times) == 1
+        assert result.imbalance == pytest.approx(1.0)
+
+    def test_rank_values_differ(self):
+        sim = SPMDSimulator(symmetric_program(), ranks=4)
+        result = sim.run({"n": 1})
+        # every rank sees the same communicator size
+        assert set(result.per_rank_value.values()) == {4}
+
+    def test_critical_path_is_max(self):
+        sim = SPMDSimulator(skewed_program(), ranks=4)
+        result = sim.run({"n": 20})
+        assert result.critical_path == result.per_rank_time[0]
+        assert result.slowest_rank() == 0
+        assert result.imbalance > 1.3
+
+    def test_rank_subset(self):
+        sim = SPMDSimulator(symmetric_program(), ranks=8)
+        result = sim.run({"n": 5}, rank_subset=[0])
+        assert result.ranks == 1
+        assert 0 in result.per_rank_time
+
+    def test_invalid_rank_rejected(self):
+        sim = SPMDSimulator(symmetric_program(), ranks=2)
+        with pytest.raises(ValueError):
+            sim.run({"n": 1}, rank_subset=[5])
+
+    def test_subset_matches_full_for_symmetric(self):
+        sim = SPMDSimulator(symmetric_program(), ranks=4)
+        full = sim.run({"n": 10})
+        sub = sim.run({"n": 10}, rank_subset=[0])
+        assert sub.critical_path == pytest.approx(full.critical_path)
+
+
+class TestSPMDTaint:
+    def test_merged_taint_covers_rank_dependent_paths(self):
+        """Rank 0's extra loop depends on n; other ranks never execute it.
+        The merged report recovers the dependence regardless of which
+        ranks took the branch."""
+        prog = rank_branch_program()
+        sim = SPMDSimulator(prog, ranks=4)
+        only_rank3 = sim.taint_merged(
+            {"n": 6}, {"n": "n"}, MPI_DATABASE, rank_subset=[3]
+        )
+        merged = sim.taint_merged({"n": 6}, {"n": "n"}, MPI_DATABASE)
+        assert only_rank3.loop_params("main", 0) == frozenset()
+        assert merged.loop_params("main", 0) == frozenset({"n"})
+
+    def test_merged_iterations_accumulate(self):
+        prog = symmetric_program()
+        sim = SPMDSimulator(prog, ranks=3)
+        merged = sim.taint_merged({"n": 4}, {"n": "n"}, MPI_DATABASE)
+        key = next(
+            k for k in merged.loop_records if k[1] == "main"
+        )
+        assert merged.loop_records[key].iterations == 12  # 4 x 3 ranks
+
+    def test_empty_subset(self):
+        sim = SPMDSimulator(symmetric_program(), ranks=2)
+        report = sim.taint_merged({"n": 1}, {"n": "n"}, rank_subset=[])
+        assert report.loop_records == {}

@@ -1,0 +1,149 @@
+"""Static-analysis phase tests: SCEV-lite and pruning."""
+
+import pytest
+
+from repro.ir import ProgramBuilder, add, call, mul, var
+from repro.ir.expr import Const
+from repro.ir.stmt import For
+from repro.staticanalysis import (
+    analyze_program,
+    default_relevant_library,
+    fold_const,
+    static_trip_count,
+)
+
+
+class TestFoldConst:
+    def test_literal(self):
+        assert fold_const(Const(7)) == 7.0
+
+    def test_arithmetic(self):
+        assert fold_const(mul(add(2, 3), 4)) == 20.0
+
+    def test_variable_blocks(self):
+        assert fold_const(var("x")) is None
+        assert fold_const(add(var("x"), 1)) is None
+
+    def test_intrinsics(self):
+        from repro.ir import log2, sqrt
+
+        assert fold_const(log2(8)) == 3.0
+        assert fold_const(sqrt(16)) == 4.0
+
+    def test_division_by_zero_blocks(self):
+        from repro.ir import div
+
+        assert fold_const(div(1, 0)) is None
+
+    def test_comparison_folds(self):
+        from repro.ir import lt
+
+        assert fold_const(lt(1, 2)) == 1.0
+
+
+class TestStaticTripCount:
+    def make_loop(self, start, stop, step, body=()):
+        from repro.ir.builder import as_expr
+
+        return For("i", as_expr(start), as_expr(stop), as_expr(step), list(body))
+
+    def test_constant_bounds(self):
+        assert static_trip_count(self.make_loop(0, 10, 1)) == 10
+
+    def test_stepped(self):
+        assert static_trip_count(self.make_loop(0, 10, 3)) == 4
+
+    def test_empty_range(self):
+        assert static_trip_count(self.make_loop(5, 5, 1)) == 0
+        assert static_trip_count(self.make_loop(9, 3, 1)) == 0
+
+    def test_variable_bound_unresolvable(self):
+        assert static_trip_count(self.make_loop(0, var("n"), 1)) is None
+
+    def test_folded_bound(self):
+        assert static_trip_count(self.make_loop(0, mul(4, 2), 1)) == 8
+
+    def test_loop_var_reassigned_blocks(self):
+        from repro.ir.stmt import Assign
+
+        loop = self.make_loop(0, 10, 1, [Assign("i", Const(0))])
+        assert static_trip_count(loop) is None
+
+    def test_while_never_static(self):
+        from repro.ir.stmt import While
+
+        assert static_trip_count(While(Const(0), [])) is None
+
+
+class TestPruning:
+    def build(self):
+        pb = ProgramBuilder()
+        with pb.function("const_loop", []) as f:
+            with f.for_("i", 0, 8):
+                f.work(1)
+        with pb.function("no_loop", ["x"]) as f:
+            f.ret(var("x"))
+        with pb.function("dyn_loop", ["n"]) as f:
+            with f.for_("i", 0, f.var("n")):
+                f.work(1)
+        with pb.function("comm", []) as f:
+            f.call("MPI_Barrier")
+        with pb.function("rank_query", []) as f:
+            f.assign("r", call("MPI_Comm_rank"))
+        with pb.function("main", ["n"]) as f:
+            f.call("const_loop")
+            f.call("no_loop", 1)
+            f.call("dyn_loop", var("n"))
+            f.call("comm")
+            f.call("rank_query")
+        return pb.build(entry="main")
+
+    def test_constant_functions_pruned(self):
+        report = analyze_program(self.build())
+        pruned = report.pruned_functions()
+        assert "const_loop" in pruned
+        assert "no_loop" in pruned
+        # main has no own loops and no direct MPI-relevant calls: its
+        # *exclusive* model is constant, so static pruning applies.
+        assert "main" in pruned
+
+    def test_dynamic_loop_survives(self):
+        report = analyze_program(self.build())
+        assert "dyn_loop" in report.surviving_functions()
+
+    def test_mpi_caller_survives(self):
+        report = analyze_program(self.build())
+        assert "comm" in report.surviving_functions()
+
+    def test_rank_query_pruned(self):
+        """MPI_Comm_rank is not performance-relevant (B1)."""
+        report = analyze_program(self.build())
+        assert "rank_query" in report.pruned_functions()
+
+    def test_loop_counters(self):
+        report = analyze_program(self.build())
+        assert report.total_loops() == 2
+        assert report.pruned_loops() == 1
+
+    def test_summary_keys(self):
+        summary = analyze_program(self.build()).summary()
+        assert summary["functions"] == 6
+        assert summary["loops_pruned_statically"] == 1
+
+    def test_relevant_library_default(self):
+        assert default_relevant_library("MPI_Allreduce")
+        assert not default_relevant_library("MPI_Comm_rank")
+        assert not default_relevant_library("printf")
+
+    def test_recursion_warning(self):
+        pb = ProgramBuilder()
+        with pb.function("f", ["n"]) as f:
+            f.call("f", var("n"))
+        report = analyze_program(pb.build(entry="f"))
+        assert any("recursive" in w for w in report.warnings)
+        assert report.functions["f"].is_recursive
+
+    def test_lulesh_static_counts(self, lulesh_static, lulesh_program):
+        summary = lulesh_static.summary()
+        # Most functions are constant helpers (paper: 296 of 356).
+        assert summary["functions_pruned_statically"] > 0.75 * summary["functions"]

@@ -1,0 +1,144 @@
+"""Label-table tests, including property-based checks of the union algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LabelExhaustionError
+from repro.taint.label import CLEAN, MAX_LABELS, LabelTable
+
+
+class TestBaseLabels:
+    def test_clean_is_zero(self):
+        assert CLEAN == 0
+        table = LabelTable()
+        assert table.expand(CLEAN) == frozenset()
+
+    def test_create_is_idempotent(self):
+        table = LabelTable()
+        a1 = table.create("a")
+        a2 = table.create("a")
+        assert a1 == a2
+
+    def test_distinct_names_distinct_ids(self):
+        table = LabelTable()
+        assert table.create("a") != table.create("b")
+
+    def test_expand_base(self):
+        table = LabelTable()
+        a = table.create("a")
+        assert table.expand(a) == frozenset({"a"})
+
+    def test_info(self):
+        table = LabelTable()
+        a = table.create("a")
+        info = table.info(a)
+        assert info.is_base and info.name == "a"
+
+
+class TestUnion:
+    def test_union_with_clean(self):
+        table = LabelTable()
+        a = table.create("a")
+        assert table.union(a, CLEAN) == a
+        assert table.union(CLEAN, a) == a
+
+    def test_union_idempotent(self):
+        table = LabelTable()
+        a = table.create("a")
+        assert table.union(a, a) == a
+
+    def test_union_expansion(self):
+        table = LabelTable()
+        a, b = table.create("a"), table.create("b")
+        ab = table.union(a, b)
+        assert table.expand(ab) == frozenset({"a", "b"})
+
+    def test_union_deduplicated(self):
+        """Equivalent combinations reuse the same id (paper 5.2)."""
+        table = LabelTable()
+        a, b = table.create("a"), table.create("b")
+        assert table.union(a, b) == table.union(b, a)
+
+    def test_union_subsumption(self):
+        table = LabelTable()
+        a, b = table.create("a"), table.create("b")
+        ab = table.union(a, b)
+        # (a|b) | a == a|b — no new label allocated
+        n_before = len(table)
+        assert table.union(ab, a) == ab
+        assert len(table) == n_before
+
+    def test_same_base_set_reused_across_operand_pairs(self):
+        table = LabelTable()
+        a, b, c = table.create("a"), table.create("b"), table.create("c")
+        abc1 = table.union(table.union(a, b), c)
+        abc2 = table.union(a, table.union(b, c))
+        assert abc1 == abc2
+
+    def test_union_all(self):
+        table = LabelTable()
+        labels = [table.create(n) for n in "abc"]
+        u = table.union_all(labels)
+        assert table.expand(u) == frozenset("abc")
+        assert table.union_all([]) == CLEAN
+
+    def test_has(self):
+        table = LabelTable()
+        a, b = table.create("a"), table.create("b")
+        ab = table.union(a, b)
+        assert table.has(ab, "a") and table.has(ab, "b")
+        assert not table.has(a, "b")
+
+
+class TestUnionAlgebraProperties:
+    @given(st.lists(st.sampled_from("abcdef"), min_size=0, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_expand_matches_set_semantics(self, names):
+        """Folding unions over any label sequence yields exactly the set
+        union of the base names."""
+        table = LabelTable()
+        labels = [table.create(n) for n in names]
+        u = table.union_all(labels)
+        assert table.expand(u) == frozenset(names)
+
+    @given(
+        st.lists(st.sampled_from("abcd"), min_size=1, max_size=6),
+        st.lists(st.sampled_from("abcd"), min_size=1, max_size=6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_commutativity(self, xs, ys):
+        table = LabelTable()
+        lx = table.union_all([table.create(n) for n in xs])
+        ly = table.union_all([table.create(n) for n in ys])
+        assert table.union(lx, ly) == table.union(ly, lx)
+
+    @given(st.lists(st.sampled_from("abcde"), min_size=3, max_size=9))
+    @settings(max_examples=50, deadline=None)
+    def test_associativity_of_expansion(self, names):
+        import random
+
+        table = LabelTable()
+        labels = [table.create(n) for n in names]
+        # Two different fold orders produce labels with equal expansions.
+        left = table.union_all(labels)
+        shuffled = list(labels)
+        random.Random(42).shuffle(shuffled)
+        right = table.union_all(shuffled)
+        assert table.expand(left) == table.expand(right)
+        # Deduplication means they are the *same* id.
+        assert left == right
+
+
+class TestExhaustion:
+    def test_exhaustion_raises(self):
+        table = LabelTable()
+        table._info = table._info * 1  # keep reference
+        # Simulate a nearly full table instead of allocating 65k labels.
+        from repro.taint.label import LabelInfo
+
+        table._info = [
+            LabelInfo(i, f"x{i}", 0, 0) for i in range(MAX_LABELS)
+        ]
+        with pytest.raises(LabelExhaustionError):
+            table.create("overflow")

@@ -1,0 +1,112 @@
+"""Direct tests of the TaintReport container (merged views, mutation)."""
+
+from repro.taint.report import TaintReport
+
+
+def make_report():
+    rep = TaintReport(parameters=("p", "size"))
+    rep.record_loop(("main", "k1"), "k1", 0, frozenset({"size"}), 10)
+    rep.record_loop(("main", "a", "k1"), "k1", 0, frozenset({"p"}), 5)
+    rep.record_loop(("main", "k2"), "k2", 1, frozenset(), 3)
+    rep.record_branch(("main",), "main", 0, frozenset({"p"}), True)
+    rep.record_branch(("main",), "main", 0, frozenset({"p"}), False)
+    rep.record_library(("main", "comm"), "comm", "MPI_Send", frozenset({"p"}))
+    rep.record_library(("main", "comm"), "comm", "MPI_Send", frozenset({"size"}))
+    rep.executed_functions = frozenset({"main", "k1", "k2", "comm"})
+    return rep
+
+
+class TestLoopViews:
+    def test_merged_loop_params(self):
+        rep = make_report()
+        assert rep.loop_params("k1", 0) == frozenset({"size", "p"})
+
+    def test_loops_by_function(self):
+        rep = make_report()
+        by_fn = rep.loops_by_function()
+        assert by_fn["k1"][0] == frozenset({"size", "p"})
+        assert by_fn["k2"][1] == frozenset()
+
+    def test_iterations_accumulate_per_callpath(self):
+        rep = make_report()
+        recs = [
+            r
+            for (cp, fn, lid), r in rep.loop_records.items()
+            if fn == "k1"
+        ]
+        assert sorted(r.iterations for r in recs) == [5, 10]
+
+    def test_relevant_loops_exclude_clean(self):
+        rep = make_report()
+        assert rep.relevant_loops() == frozenset({("k1", 0)})
+
+    def test_loops_affected_by(self):
+        rep = make_report()
+        assert rep.loops_affected_by("p") == frozenset({("k1", 0)})
+        assert rep.loops_affected_by("nothing") == frozenset()
+
+
+class TestBranchViews:
+    def test_directions_merge(self):
+        rep = make_report()
+        assert rep.branch_directions("main", 0) == frozenset({True, False})
+
+    def test_params(self):
+        rep = make_report()
+        assert rep.branch_params("main", 0) == frozenset({"p"})
+        assert rep.branch_params("main", 99) == frozenset()
+
+
+class TestLibraryViews:
+    def test_caller_params_union(self):
+        rep = make_report()
+        assert rep.library_params("comm") == frozenset({"p", "size"})
+        assert rep.library_params("k1") == frozenset()
+
+    def test_routine_params(self):
+        rep = make_report()
+        assert rep.routine_params("MPI_Send") == frozenset({"p", "size"})
+
+    def test_routines_called(self):
+        rep = make_report()
+        assert rep.routines_called() == frozenset({"MPI_Send"})
+
+    def test_call_count_accumulates(self):
+        rep = make_report()
+        rec = rep.library_records[(("main", "comm"), "MPI_Send")]
+        assert rec.calls == 2
+
+
+class TestFunctionViews:
+    def test_function_params_combines_loops_and_library(self):
+        rep = make_report()
+        assert rep.function_params("k1") == frozenset({"size", "p"})
+        assert rep.function_params("comm") == frozenset({"p", "size"})
+        assert rep.function_params("k2") == frozenset()
+
+    def test_tainted_functions(self):
+        rep = make_report()
+        assert rep.tainted_functions() == frozenset({"k1", "comm"})
+
+    def test_functions_affected_by(self):
+        rep = make_report()
+        assert rep.functions_affected_by("size") == frozenset({"k1", "comm"})
+
+
+class TestWarningsAndMerge:
+    def test_warn_deduplicates(self):
+        rep = TaintReport()
+        rep.warn("x")
+        rep.warn("x")
+        assert rep.warnings == ["x"]
+
+    def test_merge_unions_everything(self):
+        a = make_report()
+        b = TaintReport(parameters=("size", "extra"))
+        b.record_loop(("main", "k3"), "k3", 0, frozenset({"extra"}), 7)
+        b.warn("w")
+        merged = a.merge(b)
+        assert merged.parameters == ("p", "size", "extra")
+        assert merged.loop_params("k3", 0) == frozenset({"extra"})
+        assert merged.loop_params("k1", 0) == frozenset({"size", "p"})
+        assert "w" in merged.warnings

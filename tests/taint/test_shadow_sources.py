@@ -1,0 +1,101 @@
+"""Shadow state and source-spec tests."""
+
+from repro.interp.values import Array
+from repro.taint.label import CLEAN, LabelTable
+from repro.taint.shadow import ShadowFrame, ShadowHeap
+from repro.taint.sources import (
+    LibraryTaintEffect,
+    NoLibraryTaint,
+    ParameterSource,
+    SourceSpec,
+)
+
+
+class TestShadowFrame:
+    def test_default_clean(self):
+        frame = ShadowFrame()
+        assert frame.get("x") == CLEAN
+
+    def test_set_get(self):
+        frame = ShadowFrame()
+        frame.set("x", 3)
+        assert frame.get("x") == 3
+
+    def test_clean_set_removes_entry(self):
+        frame = ShadowFrame()
+        frame.set("x", 3)
+        frame.set("x", CLEAN)
+        assert frame.items() == {}
+
+    def test_items_sparse(self):
+        frame = ShadowFrame()
+        frame.set("a", 1)
+        frame.set("b", CLEAN)
+        assert frame.items() == {"a": 1}
+
+
+class TestShadowHeap:
+    def test_default_clean(self):
+        heap = ShadowHeap()
+        arr = Array(4)
+        assert heap.load(arr, 0) == CLEAN
+        assert heap.summary(arr) == CLEAN
+
+    def test_store_and_load(self):
+        table = LabelTable()
+        heap = ShadowHeap()
+        arr = Array(4)
+        a = table.create("a")
+        heap.store(arr, 2, a, table.union)
+        assert heap.load(arr, 2) == a
+        assert heap.load(arr, 0) == CLEAN
+        assert heap.summary(arr) == a
+
+    def test_summary_accumulates(self):
+        table = LabelTable()
+        heap = ShadowHeap()
+        arr = Array(4)
+        a, b = table.create("a"), table.create("b")
+        heap.store(arr, 0, a, table.union)
+        heap.store(arr, 1, b, table.union)
+        assert table.expand(heap.summary(arr)) == frozenset({"a", "b"})
+
+    def test_clean_store_noop(self):
+        heap = ShadowHeap()
+        arr = Array(4)
+        heap.store(arr, 0, CLEAN, lambda a, b: a)
+        assert heap.summary(arr) == CLEAN
+
+    def test_taint_all(self):
+        table = LabelTable()
+        heap = ShadowHeap()
+        arr = Array(3)
+        a = table.create("a")
+        heap.taint_all(arr, a, table.union)
+        assert all(heap.load(arr, i) == a for i in range(3))
+
+    def test_distinct_arrays_independent(self):
+        table = LabelTable()
+        heap = ShadowHeap()
+        arr1, arr2 = Array(2), Array(2)
+        heap.store(arr1, 0, table.create("a"), table.union)
+        assert heap.load(arr2, 0) == CLEAN
+
+
+class TestSourceSpec:
+    def test_from_dict(self):
+        spec = SourceSpec.from_mapping({"nx": "size"})
+        assert spec.parameters == [ParameterSource("nx", "size")]
+        assert spec.label_names() == ("size",)
+
+    def test_from_list(self):
+        spec = SourceSpec.from_mapping(["a", "b"])
+        assert spec.label_names() == ("a", "b")
+
+    def test_default_label_is_argument(self):
+        assert ParameterSource("n").label_name() == "n"
+
+    def test_no_library_taint(self):
+        model = NoLibraryTaint()
+        assert not model.handles("MPI_Send")
+        assert model.effect("x", (), ()) == LibraryTaintEffect()
