@@ -3,10 +3,15 @@
 Every benchmark regenerates one table or figure of the paper and prints the
 corresponding rows/series (run with ``pytest benchmarks/ --benchmark-only
 -s`` to see them; results are also written to ``benchmarks/out/``).
+
+Benchmarks opt into the parallel execution engine through the
+``bench_jobs`` fixture (``REPRO_BENCH_JOBS`` overrides the top worker
+count used by ``bench_parallel_scaling.py``).
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -16,6 +21,20 @@ from repro.apps.milc import MilcWorkload
 from repro.core.pipeline import PerfTaintPipeline
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def bench_jobs() -> int:
+    """Top worker count for parallel benchmarks (env: REPRO_BENCH_JOBS).
+
+    Defaults to 4 — matching the paper-style "speedup at 4 jobs" figure
+    — even on smaller hosts, where the benchmark reports the (lack of)
+    speedup without asserting on it.
+    """
+    value = os.environ.get("REPRO_BENCH_JOBS")
+    if value:
+        return max(1, int(value))
+    return 4
 
 
 def report(name: str, text: str) -> None:

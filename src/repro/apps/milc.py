@@ -38,6 +38,7 @@ from ..ir.builder import (
 )
 from ..ir.program import Program
 from ..measure.experiment import RunSetup
+from ..measure.parallel import WorkloadSpec
 from ..mpisim.network import DEFAULT_NETWORK, NetworkModel
 from ..mpisim.runtime import MPIConfig, MPIRuntime
 from .common import (
@@ -476,3 +477,15 @@ class MilcWorkload:
 
     def sources(self) -> dict[str, str]:  # noqa: D102
         return {name: name for name in self.annotated}
+
+    def spec(self) -> WorkloadSpec:
+        """Picklable recipe for rebuilding this workload in a worker."""
+        return WorkloadSpec(
+            factory=MilcWorkload,
+            kwargs={
+                "parameters": self.parameters,
+                "defaults": dict(self.defaults),
+                "network": self.network,
+                "exec_config": self.exec_config,
+            },
+        )

@@ -23,6 +23,7 @@ from ..ir.builder import (
 )
 from ..ir.program import Program
 from ..measure.experiment import RunSetup
+from ..measure.parallel import WorkloadSpec
 from ..mpisim.network import DEFAULT_NETWORK, NetworkModel
 from ..mpisim.runtime import MPIConfig, MPIRuntime
 
@@ -203,3 +204,38 @@ class SyntheticWorkload:
     def sources(self) -> dict[str, str]:  # noqa: D102
         entry = self.program().function(self.program().entry)
         return {name: name for name in entry.params}
+
+    def spec(self) -> WorkloadSpec:
+        """Picklable recipe for rebuilding this workload in a worker.
+
+        Valid whenever ``builder`` is a module-level callable (all the
+        builders in this module are); the cached program is deliberately
+        left out so workers rebuild it locally.
+        """
+        return WorkloadSpec(
+            factory=SyntheticWorkload,
+            kwargs={
+                "builder": self.builder,
+                "parameters": self.parameters,
+                "defaults": dict(self.defaults),
+                "name": self.name,
+                "network": self.network,
+                "exec_config": self.exec_config,
+            },
+        )
+
+
+def make_scaling_workload(
+    parameters: tuple[str, ...] | None = None,
+) -> SyntheticWorkload:
+    """The synthetic app used by the parallel-scaling benchmark and the
+    CLI ``sweep`` smoke test: a multiplicative ``p x s`` kernel.
+
+    Module-level so the resulting workload's spec pickles by reference
+    into pool workers.
+    """
+    return SyntheticWorkload(
+        builder=build_multiplicative_example,
+        parameters=tuple(parameters) if parameters else ("p", "s"),
+        name="synthetic",
+    )

@@ -5,9 +5,15 @@ Commands mirror the pipeline stages on the bundled workloads:
 * ``analyze <app>`` — static + taint analysis, Table 2/3 style report;
 * ``model <app> --values p=27,64 size=10,20`` — full pipeline with models;
 * ``contention <app> --r 2,4,8,16`` — ranks-per-node study (C1);
-* ``segments <app> --p 4,8,32`` — branch-direction validation (C2).
+* ``segments <app> --p 4,8,32`` — branch-direction validation (C2);
+* ``sweep <app> --values p=2,4 s=4,8 --jobs 4`` — measurement stage only,
+  fanned out over worker processes with an optional on-disk run cache.
 
-``<app>`` is ``lulesh`` or ``milc``.  Everything prints plain text; the
+``<app>`` is ``lulesh`` or ``milc`` (``sweep`` also accepts
+``synthetic``).  ``model`` and ``sweep`` take ``--jobs N`` to parallelize
+the instrumented experiments and ``--cache-dir DIR`` to reuse
+already-measured configurations across invocations; results are
+bit-identical for every jobs count.  Everything prints plain text; the
 same functionality is available programmatically via
 :class:`repro.core.PerfTaintPipeline`.
 """
@@ -16,10 +22,12 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 from .apps.lulesh import LuleshWorkload
 from .apps.milc import MilcWorkload
+from .apps.synthetic import make_scaling_workload
 from .core.classify import table3_counts
 from .core.pipeline import PerfTaintPipeline
 from .core.report import render_summary, render_table2, render_table3
@@ -31,6 +39,10 @@ from .mpisim.contention import LogQuadraticContention
 
 WORKLOADS = {"lulesh": LuleshWorkload, "milc": MilcWorkload}
 
+#: The measurement-only ``sweep`` command additionally accepts a small
+#: synthetic app, cheap enough for smoke tests of the parallel runner.
+SWEEP_WORKLOADS = {**WORKLOADS, "synthetic": make_scaling_workload}
+
 LULESH_PARAMS = ["p", "size", "regions", "balance", "cost", "iters"]
 MILC_PARAMS = [
     "p", "nx", "ny", "nz", "nt",
@@ -38,14 +50,42 @@ MILC_PARAMS = [
 ]
 
 
-def _workload(name: str, parameters: tuple[str, ...] | None = None):
+def _workload(
+    name: str,
+    parameters: tuple[str, ...] | None = None,
+    registry: dict | None = None,
+):
+    registry = WORKLOADS if registry is None else registry
     try:
-        cls = WORKLOADS[name]
+        cls = registry[name]
     except KeyError:
+        # Exit with a one-line error instead of a raw KeyError traceback.
         raise SystemExit(
-            f"unknown app '{name}' (choose from {sorted(WORKLOADS)})"
-        )
+            f"error: unknown app '{name}' "
+            f"(valid apps: {', '.join(sorted(registry))})"
+        ) from None
     return cls(parameters=parameters) if parameters else cls()
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got '{text}'")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _cache_dir(text: str) -> str:
+    import pathlib
+
+    path = pathlib.Path(text)
+    if path.exists() and not path.is_dir():
+        raise argparse.ArgumentTypeError(
+            f"'{text}' exists and is not a directory"
+        )
+    return text
 
 
 def _parse_values(pairs: Sequence[str]) -> dict[str, list[float]]:
@@ -84,7 +124,11 @@ def cmd_model(args: argparse.Namespace) -> int:
     values = _parse_values(args.values)
     workload = _workload(args.app, tuple(values))
     pipeline = PerfTaintPipeline(
-        workload=workload, repetitions=args.repetitions, seed=args.seed
+        workload=workload,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        n_jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
     result = pipeline.run(
         values,
@@ -112,11 +156,56 @@ def cmd_contention(args: argparse.Namespace) -> int:
     meas, _ = pipeline.measure(design, plan)
     models = pipeline.model(meas, taint, volumes, compare_black_box=True)
     findings = pipeline.validate(meas, models, taint)
+    if APP_KEY not in models:
+        raise SystemExit(
+            "error: no whole-application model could be fitted "
+            "(all measurements failed the noise screen)"
+        )
     app_model = models[APP_KEY].black_box or models[APP_KEY].hybrid
     print(f"application model over r: {app_model.format()}")
     print(f"contention findings: {len(findings)}")
     for f in findings:
         print(f"  ! {f}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .measure.experiment import full_factorial
+    from .measure.instrumentation import full_plan
+    from .measure.parallel import ParallelExperimentRunner
+
+    values = _parse_values(args.values)
+    workload = _workload(args.app, tuple(values), registry=SWEEP_WORKLOADS)
+    design = full_factorial(values)
+    runner = ParallelExperimentRunner(
+        workload=workload,
+        plan=full_plan(workload.program()),
+        repetitions=args.repetitions,
+        seed=args.seed,
+        n_jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
+    started = time.perf_counter()
+    measurements, profiles = runner.run(design)
+    elapsed = time.perf_counter() - started
+    samples = sum(
+        len(v) for per_fn in measurements.data.values() for v in per_fn.values()
+    )
+    print(
+        f"swept {len(design)} configurations "
+        f"({runner.last_stats.executed} executed, "
+        f"{runner.last_stats.cached} from cache) "
+        f"with {args.jobs} job(s) in {elapsed:.2f}s"
+    )
+    print(
+        f"collected {samples} measurements over "
+        f"{len(measurements.functions())} functions"
+    )
+    if args.output:
+        from .measure.io import save_measurements
+
+        save_measurements(measurements, args.output)
+        print(f"wrote {args.output}")
     return 0
 
 
@@ -168,12 +257,45 @@ def build_parser() -> argparse.ArgumentParser:
         default="taint",
         choices=[m.value for m in InstrumentationMode],
     )
-    p.add_argument("--repetitions", type=int, default=5)
+    p.add_argument("--repetitions", type=_positive_int, default=5)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--compare", action="store_true", help="also fit black-box models"
     )
+    p.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the measurement stage",
+    )
+    p.add_argument(
+        "--cache-dir",
+        type=_cache_dir,
+        default=None,
+        help="run-cache directory (reruns skip measured configurations)",
+    )
     p.set_defaults(func=cmd_model)
+
+    p = sub.add_parser(
+        "sweep",
+        help="measurement stage only, parallel with an optional run cache",
+    )
+    p.add_argument("app", help=f"one of: {', '.join(sorted(SWEEP_WORKLOADS))}")
+    p.add_argument(
+        "--values",
+        nargs="+",
+        required=True,
+        metavar="NAME=V1,V2",
+        help="parameter value lists, e.g. p=2,4 s=4,8",
+    )
+    p.add_argument("--repetitions", type=_positive_int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=_positive_int, default=1)
+    p.add_argument("--cache-dir", type=_cache_dir, default=None)
+    p.add_argument(
+        "--output", default=None, help="write measurements JSON here"
+    )
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("contention", help="ranks-per-node study (C1)")
     p.add_argument("app", choices=sorted(WORKLOADS))
@@ -181,7 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--p", type=float, default=64)
     p.add_argument("--size", type=float, default=16)
     p.add_argument("--beta", type=float, default=0.06)
-    p.add_argument("--repetitions", type=int, default=3)
+    p.add_argument("--repetitions", type=_positive_int, default=3)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_contention)
 

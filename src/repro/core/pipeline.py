@@ -30,6 +30,7 @@ from ..measure.experiment import (
     Measurements,
     Workload,
 )
+from ..measure.parallel import ParallelExperimentRunner
 from ..measure.instrumentation import (
     InstrumentationMode,
     InstrumentationPlan,
@@ -76,13 +77,22 @@ class PerfTaintPipeline:
     """Configurable end-to-end Perf-Taint run over one workload."""
 
     workload: Workload
-    library: LibraryDatabase = field(default_factory=lambda: MPI_DATABASE)
+    #: Each pipeline gets its own copy: LibraryDatabase is mutable
+    #: (``register``), and sharing the module-level MPI_DATABASE instance
+    #: would let one run's registrations leak into concurrent runs.
+    library: LibraryDatabase = field(default_factory=lambda: MPI_DATABASE.copy())
     policy: PropagationPolicy = FULL_POLICY
     noise: NoiseModel = field(default_factory=GaussianNoise)
     contention: ContentionModel = field(default_factory=NoContention)
     modeler: Modeler = field(default_factory=Modeler)
     repetitions: int = 5
     seed: int = 0
+    #: Worker processes for the instrumented-experiments stage (1 = the
+    #: in-process serial runner).  Results are bit-identical for every
+    #: value: RNG streams are key-derived and merging is design-ordered.
+    n_jobs: int = 1
+    #: Run-cache directory; None disables caching.
+    cache_dir: str | None = None
 
     # ------------------------------------------------------------------
     # stage 1: analysis
@@ -164,7 +174,24 @@ class PerfTaintPipeline:
         design: Sequence[Mapping[str, float]],
         plan: InstrumentationPlan,
     ) -> tuple[Measurements, dict[ConfigKey, ProfileResult]]:
-        """Run the instrumented experiments."""
+        """Run the instrumented experiments.
+
+        Uses the process-pool runner when ``n_jobs > 1`` or a run cache is
+        configured; the plain serial runner otherwise.  Both produce
+        bit-identical measurements.
+        """
+        if self.n_jobs > 1 or self.cache_dir is not None:
+            runner = ParallelExperimentRunner(
+                workload=self.workload,
+                plan=plan,
+                noise=self.noise,
+                contention=self.contention,
+                repetitions=self.repetitions,
+                seed=self.seed,
+                n_jobs=self.n_jobs,
+                cache_dir=self.cache_dir,
+            )
+            return runner.run(design)
         runner = ExperimentRunner(
             workload=self.workload,
             plan=plan,

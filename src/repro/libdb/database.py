@@ -57,6 +57,16 @@ class LibraryDatabase:
         """Add or replace a routine description."""
         self.entries[entry.name] = entry
 
+    def copy(self) -> "LibraryDatabase":
+        """An independent database with the same entries.
+
+        Entries are immutable, so a shallow copy of the mapping fully
+        decouples the two databases: registering into one can never be
+        observed by runs holding the other (shared instances like
+        ``MPI_DATABASE`` must not be mutated by concurrent experiments).
+        """
+        return LibraryDatabase(entries=dict(self.entries))
+
     def get(self, name: str) -> LibraryEntry | None:
         """Entry for routine *name*, or None."""
         return self.entries.get(name)

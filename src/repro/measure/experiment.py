@@ -73,6 +73,11 @@ def full_factorial(
     names = list(parameter_values)
     if not names:
         raise DesignError("empty design")
+    for name in names:
+        if not parameter_values[name]:
+            raise DesignError(
+                f"parameter '{name}' has an empty value list"
+            )
     combos = product(*(parameter_values[n] for n in names))
     return [dict(zip(names, combo)) for combo in combos]
 
@@ -89,6 +94,11 @@ def one_at_a_time(
     names = list(parameter_values)
     if not names:
         raise DesignError("empty design")
+    for name in names:
+        if not parameter_values[name]:
+            raise DesignError(
+                f"parameter '{name}' has an empty value list"
+            )
     baseline = {
         n: (base[n] if base and n in base else min(parameter_values[n]))
         for n in names
@@ -176,6 +186,93 @@ class Measurements:
 
 
 @dataclass
+class ConfigRunResult:
+    """Everything one configuration's run produced.
+
+    ``samples[function]`` holds the per-repetition noisy measurements in
+    repetition order; ``calls[function]`` the call count of the single
+    profiled run.  The container is picklable and JSON-able (see
+    :mod:`repro.measure.io`) so it can cross process boundaries and live
+    in the on-disk run cache.
+    """
+
+    key: ConfigKey
+    profile: ProfileResult
+    samples: dict[str, list[float]] = field(default_factory=dict)
+    calls: dict[str, int] = field(default_factory=dict)
+    #: True when the result was served from a run cache (never pickled
+    #: into the cache itself; set on load).
+    cached: bool = False
+
+
+def run_configuration(
+    program: Program,
+    setup: RunSetup,
+    plan: InstrumentationPlan,
+    noise: NoiseModel,
+    contention: ContentionModel,
+    repetitions: int,
+    seed: int,
+    key: ConfigKey,
+) -> ConfigRunResult:
+    """Profile one configuration and derive its noisy repetitions.
+
+    The RNG stream of every sample is derived purely from
+    ``(seed, function, key, repetition)`` via :func:`~repro.measure.noise.rng_for`
+    — never from execution order — so results are bit-identical whether
+    configurations run serially, in any order, or on different processes.
+    """
+    factor = contention.factor(setup.ranks_per_node)
+    profile = profile_run(
+        program,
+        setup.args,
+        plan,
+        runtime=setup.runtime,
+        exec_config=setup.exec_config,
+        contention_factor=factor,
+        entry=setup.entry,
+    )
+    result = ConfigRunResult(key=key, profile=profile)
+    for name, node in profile.flat().items():
+        if not name:
+            continue
+        base = node.time(factor)
+        result.calls[name] = node.calls
+        result.samples[name] = [
+            noise.perturb(base, rng_for(seed, name, key, rep))
+            for rep in range(repetitions)
+        ]
+    app_base = profile.total_time()
+    result.samples[APP_KEY] = [
+        noise.perturb(app_base, rng_for(seed, APP_KEY, key, rep))
+        for rep in range(repetitions)
+    ]
+    return result
+
+
+def merge_results(
+    parameters: tuple[str, ...],
+    results: Sequence[ConfigRunResult],
+) -> tuple[Measurements, dict[ConfigKey, ProfileResult]]:
+    """Combine per-configuration results into one measurements container.
+
+    Callers must pass *results* in canonical design order: merge order is
+    the only execution-order-dependent step, so fixing it here is what
+    makes parallel runs bit-identical to serial ones.
+    """
+    measurements = Measurements(parameters=parameters)
+    profiles: dict[ConfigKey, ProfileResult] = {}
+    for result in results:
+        profiles[result.key] = result.profile
+        for name, values in result.samples.items():
+            for value in values:
+                measurements.add(name, result.key, value)
+        for name, calls in result.calls.items():
+            measurements.calls.setdefault(name, {})[result.key] = calls
+    return measurements, profiles
+
+
+@dataclass
 class ExperimentRunner:
     """Runs a design against a workload under one instrumentation plan."""
 
@@ -192,37 +289,17 @@ class ExperimentRunner:
         """Execute every configuration; return measurements and profiles."""
         program = self.workload.program()
         parameters = tuple(self.workload.parameters)
-        measurements = Measurements(parameters=parameters)
-        profiles: dict[ConfigKey, ProfileResult] = {}
-
-        for config in design:
-            key = config_key(parameters, config)
-            setup = self.workload.setup(config)
-            factor = self.contention.factor(setup.ranks_per_node)
-            profile = profile_run(
+        results = [
+            run_configuration(
                 program,
-                setup.args,
+                self.workload.setup(config),
                 self.plan,
-                runtime=setup.runtime,
-                exec_config=setup.exec_config,
-                contention_factor=factor,
-                entry=setup.entry,
+                self.noise,
+                self.contention,
+                self.repetitions,
+                self.seed,
+                config_key(parameters, config),
             )
-            profiles[key] = profile
-
-            flat = profile.flat()
-            for name, node in flat.items():
-                if not name:
-                    continue
-                base = node.time(factor)
-                measurements.calls.setdefault(name, {})[key] = node.calls
-                for rep in range(self.repetitions):
-                    rng = rng_for(self.seed, name, key, rep)
-                    measurements.add(name, key, self.noise.perturb(base, rng))
-            app_base = profile.total_time()
-            for rep in range(self.repetitions):
-                rng = rng_for(self.seed, APP_KEY, key, rep)
-                measurements.add(
-                    APP_KEY, key, self.noise.perturb(app_base, rng)
-                )
-        return measurements, profiles
+            for config in design
+        ]
+        return merge_results(parameters, results)

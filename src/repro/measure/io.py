@@ -1,4 +1,4 @@
-"""Serialization of measurements and models.
+"""Serialization of measurements and models, plus the on-disk run cache.
 
 Extra-P consumes measurement archives (Cube files / JSON line formats);
 this module provides the equivalent for the repro pipeline so experiments
@@ -7,23 +7,39 @@ can be measured once, stored, and re-modeled offline:
 * :func:`save_measurements` / :func:`load_measurements` — JSON round trip
   of a :class:`~repro.measure.experiment.Measurements` container;
 * :func:`model_to_dict` / :func:`model_from_dict` — JSON-able fitted
-  models (terms, coefficients, statistics).
+  models (terms, coefficients, statistics);
+* :func:`profile_to_dict` / :func:`profile_from_dict` — JSON-able
+  :class:`~repro.measure.profiler.ProfileResult`;
+* :class:`RunCache` — a content-addressed store of per-configuration
+  run results keyed by (program hash, configuration, execution config,
+  noise/seed, ...), so repeated sweeps and benchmark reruns skip
+  already-measured configurations entirely.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import pathlib
+import tempfile
 from typing import Mapping
 
 import numpy as np
 
 from ..errors import MeasurementError
+from ..ir.printer import format_program
+from ..ir.program import Program
 from ..modeling.hypothesis import Model, ModelStats
 from ..modeling.terms import TermSpec
-from .experiment import Measurements
+from .experiment import ConfigRunResult, Measurements
+from .instrumentation import InstrumentationMode, InstrumentationPlan
+from .profiler import ProfileNode, ProfileResult
 
 FORMAT_VERSION = 1
+
+#: Version of the run-cache entry format; bump to invalidate old caches.
+CACHE_VERSION = 1
 
 
 def measurements_to_dict(measurements: Measurements) -> dict:
@@ -82,6 +98,199 @@ def save_measurements(measurements: Measurements, path: "str | pathlib.Path") ->
 def load_measurements(path: "str | pathlib.Path") -> Measurements:
     """Read measurements from JSON."""
     return measurements_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def profile_to_dict(profile: ProfileResult) -> dict:
+    """JSON-able representation of a profiled run."""
+    return {
+        "plan": {
+            "mode": profile.plan.mode.value,
+            "functions": sorted(profile.plan.functions),
+            "overhead_per_call": float(profile.plan.overhead_per_call),
+        },
+        "contention_factor": float(profile.contention_factor),
+        "nodes": [
+            {
+                "callpath": list(node.callpath),
+                "calls": int(node.calls),
+                "compute": float(node.compute),
+                "memory": float(node.memory),
+                "comm": float(node.comm),
+                "overhead": float(node.overhead),
+            }
+            for _, node in sorted(profile.nodes.items())
+        ],
+        "loop_iterations": [
+            {"function": fn, "loop": int(loop_id), "iterations": int(n)}
+            for (fn, loop_id), n in sorted(profile.loop_iterations.items())
+        ],
+    }
+
+
+def profile_from_dict(payload: Mapping) -> ProfileResult:
+    """Inverse of :func:`profile_to_dict`."""
+    plan = InstrumentationPlan(
+        InstrumentationMode(payload["plan"]["mode"]),
+        frozenset(payload["plan"]["functions"]),
+        float(payload["plan"]["overhead_per_call"]),
+    )
+    nodes = {}
+    for entry in payload["nodes"]:
+        path = tuple(entry["callpath"])
+        nodes[path] = ProfileNode(
+            callpath=path,
+            calls=int(entry["calls"]),
+            compute=float(entry["compute"]),
+            memory=float(entry["memory"]),
+            comm=float(entry["comm"]),
+            overhead=float(entry["overhead"]),
+        )
+    return ProfileResult(
+        plan=plan,
+        nodes=nodes,
+        contention_factor=float(payload["contention_factor"]),
+        loop_iterations={
+            (e["function"], int(e["loop"])): int(e["iterations"])
+            for e in payload["loop_iterations"]
+        },
+    )
+
+
+def config_run_result_to_dict(result: ConfigRunResult) -> dict:
+    """JSON-able representation of one configuration's run result."""
+    return {
+        "version": CACHE_VERSION,
+        "key": [float(v) for v in result.key],
+        "profile": profile_to_dict(result.profile),
+        "samples": {
+            fn: [float(v) for v in values]
+            for fn, values in result.samples.items()
+        },
+        "calls": {fn: int(c) for fn, c in result.calls.items()},
+    }
+
+
+def config_run_result_from_dict(payload: Mapping) -> ConfigRunResult:
+    """Inverse of :func:`config_run_result_to_dict`."""
+    if payload.get("version") != CACHE_VERSION:
+        raise MeasurementError(
+            f"unsupported run-cache entry version {payload.get('version')!r}"
+        )
+    return ConfigRunResult(
+        key=tuple(float(v) for v in payload["key"]),
+        profile=profile_from_dict(payload["profile"]),
+        samples={
+            fn: [float(v) for v in values]
+            for fn, values in payload["samples"].items()
+        },
+        calls={fn: int(c) for fn, c in payload["calls"].items()},
+    )
+
+
+# ----------------------------------------------------------------------
+# run cache
+
+
+def program_hash(program: Program) -> str:
+    """Content hash of a program (its canonical printed form)."""
+    text = format_program(program)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def run_fingerprint(
+    program_digest: str,
+    config: Mapping[str, float],
+    plan: InstrumentationPlan,
+    exec_repr: str,
+    noise_repr: str,
+    contention_repr: str,
+    repetitions: int,
+    seed: int,
+    workload_repr: str = "",
+) -> str:
+    """Content-addressed key of one configuration's run.
+
+    Every input that can change the measured numbers participates: the
+    program (by content hash), the configuration point, the
+    instrumentation plan, the execution config, the noise model and seed,
+    the contention model, the repetition count, and a workload
+    fingerprint covering non-modeled defaults (which alter the setup the
+    workload derives from the same configuration point).
+    """
+    payload = {
+        "cache_version": CACHE_VERSION,
+        "program": program_digest,
+        "config": sorted((k, float(v)) for k, v in config.items()),
+        "plan": {
+            "mode": plan.mode.value,
+            "functions": sorted(plan.functions),
+            "overhead_per_call": float(plan.overhead_per_call),
+        },
+        "exec": exec_repr,
+        "noise": noise_repr,
+        "contention": contention_repr,
+        "repetitions": int(repetitions),
+        "seed": int(seed),
+        "workload": workload_repr,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class RunCache:
+    """On-disk content-addressed cache of per-configuration run results.
+
+    One JSON file per entry under *root*, named by the run fingerprint.
+    Writes are atomic (temp file + rename), so concurrent workers and
+    concurrent experiment processes can share a cache directory safely:
+    the worst case is the same entry being computed twice, never a torn
+    read.
+    """
+
+    def __init__(self, root: "str | pathlib.Path") -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, fingerprint: str) -> pathlib.Path:
+        return self.root / f"{fingerprint}.json"
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self._path(fingerprint).exists()
+
+    def get(self, fingerprint: str) -> ConfigRunResult | None:
+        """The cached result, or None on a miss (or a corrupt entry)."""
+        path = self._path(fingerprint)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        try:
+            result = config_run_result_from_dict(payload)
+        except (MeasurementError, KeyError, TypeError, ValueError):
+            return None
+        result.cached = True
+        return result
+
+    def put(self, fingerprint: str, result: ConfigRunResult) -> None:
+        """Store *result* atomically under *fingerprint*."""
+        path = self._path(fingerprint)
+        payload = json.dumps(config_run_result_to_dict(result), indent=1)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
 
 
 # ----------------------------------------------------------------------

@@ -104,3 +104,92 @@ class TestCLICommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "application model over r" in out
+
+
+class TestCLISweepAndParallel:
+    def test_sweep_synthetic_parallel(self, capsys):
+        rc = main(
+            [
+                "sweep", "synthetic",
+                "--values", "p=2,4", "s=3,5",
+                "--jobs", "2",
+                "--repetitions", "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "swept 4 configurations" in out
+        assert "4 executed" in out
+
+    def test_sweep_cache_reuse(self, capsys, tmp_path):
+        argv = [
+            "sweep", "synthetic",
+            "--values", "p=2,4", "s=3,5",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--repetitions", "2",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 executed, 4 from cache" in out
+
+    def test_sweep_unknown_app_one_line_error(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "notanapp", "--values", "p=1,2"])
+        message = str(exc.value)
+        assert "unknown app 'notanapp'" in message
+        assert "lulesh" in message and "milc" in message
+        assert "\n" not in message
+
+    def test_sweep_writes_measurements(self, tmp_path, capsys):
+        out_file = tmp_path / "meas.json"
+        rc = main(
+            [
+                "sweep", "synthetic",
+                "--values", "p=2", "s=3",
+                "--repetitions", "2",
+                "--output", str(out_file),
+            ]
+        )
+        assert rc == 0
+        from repro.measure import load_measurements
+
+        meas = load_measurements(out_file)
+        assert meas.parameters == ("p", "s")
+        assert meas.functions()
+
+    def test_model_accepts_jobs_and_cache(self, capsys, tmp_path):
+        rc = main(
+            [
+                "model", "lulesh",
+                "--values", "p=27,64", "size=6,9",
+                "--repetitions", "2",
+                "--jobs", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        assert rc == 0
+        assert "hybrid model" in capsys.readouterr().out
+        # The cache was populated: a rerun hits it for every configuration.
+        rc = main(
+            [
+                "model", "lulesh",
+                "--values", "p=27,64", "size=6,9",
+                "--repetitions", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        assert rc == 0
+
+    def test_sweep_rejects_nonpositive_jobs_and_repetitions(self, capsys):
+        for argv in (
+            ["sweep", "synthetic", "--values", "p=2", "s=3", "--jobs", "0"],
+            ["sweep", "synthetic", "--values", "p=2", "s=3",
+             "--repetitions", "0"],
+        ):
+            with pytest.raises(SystemExit) as exc:
+                main(argv)
+            assert exc.value.code == 2  # argparse usage error
+        err = capsys.readouterr().err
+        assert "must be >= 1" in err

@@ -1,0 +1,335 @@
+"""Parallel execution engine: determinism, caching, specs, shared state.
+
+The headline invariant under test: serial and parallel runs of the same
+design produce bit-identical ``Measurements`` regardless of worker count,
+submission order, or completion order, because every noise sample's RNG
+stream is derived purely from (seed, function, configuration, repetition)
+and results are merged in canonical design order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pickle
+import random
+
+import pytest
+
+import repro.measure.experiment as experiment_mod
+from repro.apps.lulesh import LuleshWorkload
+from repro.apps.synthetic import (
+    SyntheticWorkload,
+    build_additive_example,
+    build_foo_example,
+    build_multiplicative_example,
+    make_scaling_workload,
+)
+from repro.errors import DesignError
+from repro.interp.config import DEFAULT_CONFIG
+from repro.libdb import MPI_DATABASE
+from repro.measure import (
+    ExperimentRunner,
+    ParallelExperimentRunner,
+    RunCache,
+    WorkloadSpec,
+    config_run_result_from_dict,
+    config_run_result_to_dict,
+    full_factorial,
+    full_plan,
+    measurements_to_dict,
+    profile_from_dict,
+    profile_to_dict,
+    spec_of,
+)
+from repro.measure.parallel import _run_task, _ConfigTask
+from repro.mpisim.contention import LogQuadraticContention
+from repro.mpisim.network import DEFAULT_NETWORK
+
+
+def canonical(measurements) -> str:
+    """Byte-exact canonical form of a measurements container."""
+    return json.dumps(measurements_to_dict(measurements), sort_keys=True)
+
+
+BUILDERS = {
+    "foo": (build_foo_example, ("a", "b")),
+    "additive": (build_additive_example, ("p", "s")),
+    "multiplicative": (build_multiplicative_example, ("p", "s")),
+}
+
+
+def random_design(parameters, rng):
+    values = {
+        name: sorted(
+            rng.sample(range(2, 12), rng.randint(1, 3))
+        )
+        for name in parameters
+    }
+    return {k: [float(v) for v in vs] for k, vs in values.items()}
+
+
+class TestSerialParallelIdentity:
+    @pytest.mark.parametrize("case", sorted(BUILDERS))
+    @pytest.mark.parametrize("trial", [0, 1])
+    def test_random_designs_bit_identical(self, case, trial):
+        """Property: serial and pooled runs agree on random designs."""
+        builder, parameters = BUILDERS[case]
+        rng = random.Random(hash((case, trial)) & 0xFFFF)
+        workload = SyntheticWorkload(builder=builder, parameters=parameters)
+        plan = full_plan(workload.program())
+        design = full_factorial(random_design(parameters, rng))
+        seed = rng.randint(0, 1000)
+        reps = rng.randint(1, 4)
+
+        serial = ExperimentRunner(
+            workload=workload, plan=plan, repetitions=reps, seed=seed
+        )
+        m_serial, p_serial = serial.run(design)
+
+        parallel = ParallelExperimentRunner(
+            workload=workload, plan=plan, repetitions=reps, seed=seed,
+            n_jobs=2,
+        )
+        m_parallel, p_parallel = parallel.run(design)
+
+        assert canonical(m_serial) == canonical(m_parallel)
+        assert set(p_serial) == set(p_parallel)
+        assert parallel.last_stats.executed == len(design)
+
+    def test_design_order_independent_per_key(self):
+        """Each configuration's repetition stream is order-independent."""
+        workload = make_scaling_workload()
+        plan = full_plan(workload.program())
+        design = full_factorial({"p": [2.0, 3.0], "s": [4.0, 5.0]})
+        runner = ExperimentRunner(
+            workload=workload, plan=plan, repetitions=3, seed=9
+        )
+        m_fwd, _ = runner.run(design)
+        m_rev, _ = runner.run(list(reversed(design)))
+        for fn, per_key in m_fwd.data.items():
+            for key, values in per_key.items():
+                assert m_rev.data[fn][key] == values
+
+    def test_contention_and_repetitions_survive_pool(self):
+        workload = make_scaling_workload()
+        plan = full_plan(workload.program())
+        design = [{"p": 2.0, "s": 4.0}]
+        kwargs = dict(
+            workload=workload, plan=plan, repetitions=4, seed=5,
+            contention=LogQuadraticContention(beta=0.1),
+        )
+        m1, _ = ExperimentRunner(**kwargs).run(design)
+        m2, _ = ParallelExperimentRunner(**kwargs, n_jobs=2).run(design)
+        assert canonical(m1) == canonical(m2)
+
+    def test_rejects_nonpositive_jobs(self):
+        workload = make_scaling_workload()
+        with pytest.raises(ValueError):
+            ParallelExperimentRunner(
+                workload=workload,
+                plan=full_plan(workload.program()),
+                n_jobs=0,
+            )
+
+
+class TestRunCache:
+    def _runner(self, cache_dir, n_jobs=1, seed=2):
+        workload = make_scaling_workload()
+        return ParallelExperimentRunner(
+            workload=workload,
+            plan=full_plan(workload.program()),
+            repetitions=3,
+            seed=seed,
+            n_jobs=n_jobs,
+            cache_dir=cache_dir,
+        )
+
+    def test_second_run_zero_profile_executions(self, tmp_path, monkeypatch):
+        design = full_factorial({"p": [2.0, 4.0], "s": [3.0, 5.0]})
+        first = self._runner(tmp_path / "cache")
+        m_first, _ = first.run(design)
+        assert first.last_stats.executed == len(design)
+
+        # Count actual profile executions underneath the second run.
+        calls = {"n": 0}
+        real = experiment_mod.profile_run
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(experiment_mod, "profile_run", counting)
+        second = self._runner(tmp_path / "cache")
+        m_second, _ = second.run(design)
+        assert calls["n"] == 0
+        assert second.last_stats.executed == 0
+        assert second.last_stats.cached == len(design)
+        assert canonical(m_second) == canonical(m_first)
+
+    def test_cache_serves_parallel_runs(self, tmp_path):
+        design = full_factorial({"p": [2.0, 4.0], "s": [3.0, 5.0]})
+        m_cold, _ = self._runner(tmp_path / "c", n_jobs=2).run(design)
+        warm = self._runner(tmp_path / "c", n_jobs=2)
+        m_warm, _ = warm.run(design)
+        assert warm.last_stats.executed == 0
+        assert canonical(m_warm) == canonical(m_cold)
+
+    def test_differing_seed_misses(self, tmp_path):
+        design = [{"p": 2.0, "s": 3.0}]
+        self._runner(tmp_path / "c", seed=1).run(design)
+        other = self._runner(tmp_path / "c", seed=2)
+        other.run(design)
+        assert other.last_stats.executed == 1
+
+    def test_differing_plan_misses(self, tmp_path):
+        workload = make_scaling_workload()
+        design = [{"p": 2.0, "s": 3.0}]
+        a = ParallelExperimentRunner(
+            workload=workload, plan=full_plan(workload.program()),
+            repetitions=2, cache_dir=tmp_path / "c",
+        )
+        a.run(design)
+        narrowed = dataclasses.replace(
+            full_plan(workload.program()), functions=frozenset({"kernel"})
+        )
+        b = ParallelExperimentRunner(
+            workload=workload, plan=narrowed,
+            repetitions=2, cache_dir=tmp_path / "c",
+        )
+        b.run(design)
+        assert b.last_stats.executed == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        design = [{"p": 2.0, "s": 3.0}]
+        runner = self._runner(tmp_path / "c")
+        runner.run(design)
+        for entry in (tmp_path / "c").glob("*.json"):
+            entry.write_text("{not json")
+        again = self._runner(tmp_path / "c")
+        again.run(design)
+        assert again.last_stats.executed == 1
+
+    def test_run_result_json_round_trip(self, tmp_path):
+        workload = make_scaling_workload()
+        parameters = tuple(workload.parameters)
+        setup = workload.setup({"p": 2.0, "s": 3.0})
+        result = experiment_mod.run_configuration(
+            workload.program(), setup, full_plan(workload.program()),
+            ExperimentRunner.__dataclass_fields__["noise"].default_factory(),
+            LogQuadraticContention(), 3, 0, (2.0, 3.0),
+        )
+        back = config_run_result_from_dict(config_run_result_to_dict(result))
+        assert back.key == result.key
+        assert back.samples == result.samples
+        assert back.calls == result.calls
+        assert profile_to_dict(back.profile) == profile_to_dict(result.profile)
+        assert profile_to_dict(
+            profile_from_dict(profile_to_dict(result.profile))
+        ) == profile_to_dict(result.profile)
+
+    def test_cache_len_and_contains(self, tmp_path):
+        cache = RunCache(tmp_path / "c")
+        assert len(cache) == 0
+        assert "deadbeef" not in cache
+
+
+class TestWorkloadSpec:
+    def test_synthetic_spec_round_trip(self):
+        workload = make_scaling_workload()
+        spec = workload.spec()
+        rebuilt = pickle.loads(pickle.dumps(spec)).build()
+        assert rebuilt.name == workload.name
+        assert rebuilt.parameters == workload.parameters
+
+    def test_lulesh_spec_round_trip(self):
+        workload = LuleshWorkload(parameters=("p",))
+        rebuilt = pickle.loads(pickle.dumps(workload.spec())).build()
+        assert rebuilt.parameters == ("p",)
+        assert canonical_program(rebuilt) == canonical_program(workload)
+
+    def test_spec_of_falls_back_to_pickling(self):
+        class Plain:
+            name = "plain"
+            parameters = ("x",)
+
+        spec = spec_of(Plain())
+        assert isinstance(spec, WorkloadSpec)
+        assert spec.build().name == "plain"
+
+    def test_worker_task_round_trip(self):
+        """The worker entry point runs standalone on a pickled task."""
+        workload = make_scaling_workload()
+        plan = full_plan(workload.program())
+        task = _ConfigTask(
+            index=0,
+            spec_blob=pickle.dumps(workload.spec()),
+            config=(("p", 2.0), ("s", 3.0)),
+            plan=plan,
+            noise=ExperimentRunner.__dataclass_fields__[
+                "noise"
+            ].default_factory(),
+            contention=ExperimentRunner.__dataclass_fields__[
+                "contention"
+            ].default_factory(),
+            repetitions=2,
+            seed=0,
+            key=(2.0, 3.0),
+        )
+        index, result = _run_task(pickle.loads(pickle.dumps(task)))
+        assert index == 0
+        assert result.key == (2.0, 3.0)
+        assert len(result.samples) > 0
+
+
+def canonical_program(workload) -> str:
+    from repro.ir.printer import format_program
+
+    return format_program(workload.program())
+
+
+class TestSharedStateAudit:
+    """A run must never mutate state observed by a concurrent run."""
+
+    def test_shared_defaults_are_immutable(self):
+        for instance in (DEFAULT_CONFIG, DEFAULT_NETWORK):
+            field = dataclasses.fields(instance)[0].name
+            with pytest.raises(dataclasses.FrozenInstanceError):
+                setattr(instance, field, 123)
+
+    def test_pipeline_library_is_not_shared(self):
+        from repro.core.pipeline import PerfTaintPipeline
+        from repro.libdb.database import LibraryEntry
+
+        a = PerfTaintPipeline(workload=make_scaling_workload())
+        b = PerfTaintPipeline(workload=make_scaling_workload())
+        assert a.library is not b.library
+        assert a.library is not MPI_DATABASE
+        a.library.register(LibraryEntry(name="Fake_routine"))
+        assert not b.library.handles("Fake_routine")
+        assert not MPI_DATABASE.handles("Fake_routine")
+
+    def test_library_copy_decouples(self):
+        copied = MPI_DATABASE.copy()
+        assert copied.entries == MPI_DATABASE.entries
+        assert copied.entries is not MPI_DATABASE.entries
+
+    def test_runner_defaults_are_per_instance(self):
+        workload = make_scaling_workload()
+        plan = full_plan(workload.program())
+        a = ExperimentRunner(workload=workload, plan=plan)
+        b = ExperimentRunner(workload=workload, plan=plan)
+        assert a.noise is not b.noise
+        assert a.contention is not b.contention
+
+
+class TestDesignValidation:
+    def test_full_factorial_empty_value_list_names_parameter(self):
+        with pytest.raises(DesignError, match="'size'"):
+            full_factorial({"p": [1.0, 2.0], "size": []})
+
+    def test_one_at_a_time_empty_value_list_names_parameter(self):
+        from repro.measure import one_at_a_time
+
+        with pytest.raises(DesignError, match="'p'"):
+            one_at_a_time({"p": [], "size": [1.0]})
