@@ -13,9 +13,12 @@ Commands mirror the pipeline stages on the bundled workloads:
 ``synthetic``).  ``model`` and ``sweep`` take ``--jobs N`` to parallelize
 the instrumented experiments and ``--cache-dir DIR`` to reuse
 already-measured configurations across invocations; results are
-bit-identical for every jobs count.  Everything prints plain text; the
-same functionality is available programmatically via
-:class:`repro.core.PerfTaintPipeline`.
+bit-identical for every jobs count.  Measurement commands take
+``--engine tree|compiled`` to pick the execution engine (default:
+``compiled``, the IR-to-closure compiler; the taint stage always runs on
+the tree-walker) — both engines are bit-identical too.  Everything
+prints plain text; the same functionality is available programmatically
+via :class:`repro.core.PerfTaintPipeline`.
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ from .core.classify import table3_counts
 from .core.pipeline import PerfTaintPipeline
 from .core.report import render_summary, render_table2, render_table3
 from .core.validation import detect_segmented_behavior
+from .interp import DEFAULT_MEASUREMENT_ENGINE, ENGINES
 from .libdb import MPI_DATABASE
 from .measure.instrumentation import InstrumentationMode
 from .measure.profiler import APP_KEY
@@ -129,6 +133,7 @@ def cmd_model(args: argparse.Namespace) -> int:
         seed=args.seed,
         n_jobs=args.jobs,
         cache_dir=args.cache_dir,
+        engine=args.engine,
     )
     result = pipeline.run(
         values,
@@ -146,6 +151,7 @@ def cmd_contention(args: argparse.Namespace) -> int:
         repetitions=args.repetitions,
         seed=args.seed,
         contention=LogQuadraticContention(beta=args.beta),
+        engine=args.engine,
     )
     static, taint, volumes, deps, _ = pipeline.analyze()
     plan = pipeline.plan_for(InstrumentationMode.TAINT_FILTER, taint, static)
@@ -184,6 +190,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         n_jobs=args.jobs,
         cache_dir=args.cache_dir,
+        engine=args.engine,
     )
     started = time.perf_counter()
     measurements, profiles = runner.run(design)
@@ -232,6 +239,17 @@ def cmd_segments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        default=DEFAULT_MEASUREMENT_ENGINE,
+        choices=sorted(ENGINES),
+        help="execution engine for the measurement stage (the taint "
+        "stage always uses the tree-walker); both engines produce "
+        "bit-identical results",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -274,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="run-cache directory (reruns skip measured configurations)",
     )
+    _add_engine_arg(p)
     p.set_defaults(func=cmd_model)
 
     p = sub.add_parser(
@@ -295,6 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--output", default=None, help="write measurements JSON here"
     )
+    _add_engine_arg(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("contention", help="ranks-per-node study (C1)")
@@ -305,6 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--beta", type=float, default=0.06)
     p.add_argument("--repetitions", type=_positive_int, default=3)
     p.add_argument("--seed", type=int, default=0)
+    _add_engine_arg(p)
     p.set_defaults(func=cmd_contention)
 
     p = sub.add_parser("segments", help="branch-direction validation (C2)")

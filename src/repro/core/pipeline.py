@@ -22,6 +22,7 @@ from typing import Mapping, Sequence
 
 import math
 
+from ..interp import DEFAULT_MEASUREMENT_ENGINE
 from ..libdb.database import LibraryDatabase
 from ..libdb.mpi_models import MPI_DATABASE
 from ..measure.experiment import (
@@ -93,6 +94,10 @@ class PerfTaintPipeline:
     n_jobs: int = 1
     #: Run-cache directory; None disables caching.
     cache_dir: str | None = None
+    #: Execution engine for the measurement stage ("compiled" | "tree").
+    #: The taint stage always runs on the tree-walker — the taint engine
+    #: extends its per-node hooks — regardless of this choice.
+    engine: str = DEFAULT_MEASUREMENT_ENGINE
 
     # ------------------------------------------------------------------
     # stage 1: analysis
@@ -190,6 +195,7 @@ class PerfTaintPipeline:
                 seed=self.seed,
                 n_jobs=self.n_jobs,
                 cache_dir=self.cache_dir,
+                engine=self.engine,
             )
             return runner.run(design)
         runner = ExperimentRunner(
@@ -199,6 +205,7 @@ class PerfTaintPipeline:
             contention=self.contention,
             repetitions=self.repetitions,
             seed=self.seed,
+            engine=self.engine,
         )
         return runner.run(design)
 

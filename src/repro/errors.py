@@ -56,7 +56,23 @@ class ArityError(InterpreterError):
 
 
 class ExecutionLimitError(InterpreterError):
-    """The interpreter exceeded its configured step budget (likely a hang)."""
+    """An execution engine exceeded a configured limit (likely a hang).
+
+    Raised for both the step budget (``ExecConfig.step_limit``) and the
+    call-depth bound (``ExecConfig.max_call_depth``).  The message names
+    the offending function and the configured limit; both are also
+    exposed as attributes for programmatic handling.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        function: str | None = None,
+        limit: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.function = function
+        self.limit = limit
 
 
 class TaintError(ReproError):

@@ -1,11 +1,20 @@
-"""Execution substrate: metered tree-walking interpreter.
+"""Execution substrate: metered execution of repro-IR programs.
 
-Executes repro-IR programs under a discrete cost model, emitting events the
-measurement layer (:mod:`repro.measure`) aggregates into profiles.  The
-taint engine (:mod:`repro.taint`) extends :class:`Interpreter` with shadow
-state.
+Two engines share one semantics core (:mod:`repro.interp.semantics`):
+
+* :class:`Interpreter` — the tree-walking engine.  Subclassable per-node
+  hooks; the taint engine (:mod:`repro.taint`) extends it with shadow
+  state.
+* :class:`CompiledEngine` — the IR-to-closure compiler
+  (:mod:`repro.interp.compile`).  Lowers a finalized program once and
+  executes pre-dispatched closures; the default for measurement runs.
+
+Construct engines through :func:`make_engine` rather than instantiating
+either class directly — callers then inherit new engines (and the
+"which engine for which job" defaults) automatically.
 """
 
+from .compile import CompiledEngine, CompiledFunction
 from .config import DEFAULT_CONFIG, ExecConfig
 from .events import CostKind, ExecutionListener, MultiListener, NullListener
 from .fastpath import FastPathPlanner, LeafCost, leaf_unit_cost
@@ -19,10 +28,57 @@ from .runtime import (
 )
 from .values import Array, Scalar, Value, truthy
 
+#: The tree-walking engine (taint analysis, per-node extension hooks).
+ENGINE_TREE = "tree"
+#: The closure-compiling engine (measurement hot path).
+ENGINE_COMPILED = "compiled"
+#: All valid engine identifiers, in preference order for measurement.
+ENGINES: tuple[str, ...] = (ENGINE_COMPILED, ENGINE_TREE)
+
+#: Engine used by the measurement layer unless a caller overrides it.
+#: Taint runs always use the tree-walker (the taint engine subclasses
+#: its per-node hooks), independent of this default.
+DEFAULT_MEASUREMENT_ENGINE = ENGINE_COMPILED
+
+
+def make_engine(
+    program,
+    engine: str = ENGINE_TREE,
+    runtime: "LibraryRuntime | None" = None,
+    config: ExecConfig = DEFAULT_CONFIG,
+    listener: "ExecutionListener | None" = None,
+) -> "Interpreter | CompiledEngine":
+    """Construct an execution engine for *program*.
+
+    *engine* is ``"tree"`` (the subclassable tree-walker, the default for
+    direct use) or ``"compiled"`` (the closure compiler the measurement
+    layer uses).  Both produce bit-identical
+    :class:`~repro.interp.metrics.RunResult` objects, events and errors;
+    they differ only in dispatch cost.
+    """
+    if engine == ENGINE_TREE:
+        return Interpreter(
+            program, runtime=runtime, config=config, listener=listener
+        )
+    if engine == ENGINE_COMPILED:
+        return CompiledEngine(
+            program, runtime=runtime, config=config, listener=listener
+        )
+    raise ValueError(
+        f"unknown engine {engine!r} (valid engines: {', '.join(ENGINES)})"
+    )
+
+
 __all__ = [
     "Array",
+    "CompiledEngine",
+    "CompiledFunction",
     "CostKind",
     "DEFAULT_CONFIG",
+    "DEFAULT_MEASUREMENT_ENGINE",
+    "ENGINES",
+    "ENGINE_COMPILED",
+    "ENGINE_TREE",
     "ExecConfig",
     "ExecutionListener",
     "FastPathPlanner",
@@ -40,5 +96,6 @@ __all__ = [
     "TableRuntime",
     "Value",
     "leaf_unit_cost",
+    "make_engine",
     "truthy",
 ]

@@ -13,12 +13,10 @@ Subclasses may override the ``_eval_*``/``_exec_*`` hooks; the taint engine
 
 from __future__ import annotations
 
-import math
 from typing import Mapping, Sequence
 
 from ..errors import (
     ArityError,
-    ExecutionLimitError,
     InterpreterError,
     UndefinedFunctionError,
     UndefinedVariableError,
@@ -42,13 +40,32 @@ from .events import CostKind, ExecutionListener, NullListener
 from .fastpath import FastPathPlanner
 from .metrics import MetricsCollector, RunResult
 from .runtime import LibraryRuntime, NoLibraryRuntime
-from .values import Array, Value, truthy
+from .semantics import (
+    FLOW_BREAK,
+    FLOW_CONTINUE,
+    FLOW_NORMAL,
+    FLOW_RETURN,
+    MATH_INTRINSICS,
+    alloc_array,
+    apply_binop,
+    apply_unop,
+    bad_loop_step,
+    call_depth_exceeded,
+    check_work_amount,
+    execute_library_call,
+    require_array,
+    resolve_entry_args,
+    step_limit_exceeded,
+)
+from .values import Value, truthy
 
-# Control-flow signals returned by statement execution.
-FLOW_NORMAL = 0
-FLOW_BREAK = 1
-FLOW_CONTINUE = 2
-FLOW_RETURN = 3
+__all__ = [
+    "FLOW_BREAK",
+    "FLOW_CONTINUE",
+    "FLOW_NORMAL",
+    "FLOW_RETURN",
+    "Interpreter",
+]
 
 
 class Interpreter:
@@ -94,17 +111,7 @@ class Interpreter:
         entry: str | None = None,
     ) -> RunResult:
         """Execute the entry function with *args* and return the result."""
-        name = entry or self.program.entry
-        fn = self.program.function(name)
-        if isinstance(args, Mapping):
-            missing = [p for p in fn.params if p not in args]
-            if missing:
-                raise InterpreterError(
-                    f"missing entry argument(s) {missing} for '{name}'"
-                )
-            argvals = [args[p] for p in fn.params]
-        else:
-            argvals = list(args)
+        name, _fn, argvals = resolve_entry_args(self.program, args, entry)
         value = self._call_function(name, argvals)
         return RunResult(value=value, metrics=self.metrics, steps=self._steps)
 
@@ -118,8 +125,8 @@ class Interpreter:
     def _step(self) -> None:
         self._steps += 1
         if self._steps > self.config.step_limit:
-            raise ExecutionLimitError(
-                f"exceeded step limit of {self.config.step_limit}"
+            raise step_limit_exceeded(
+                self.current_function, self.config.step_limit
             )
 
     @property
@@ -135,9 +142,7 @@ class Interpreter:
         if len(args) != len(fn.params):
             raise ArityError(name, len(fn.params), len(args))
         if self._depth >= self.config.max_call_depth:
-            raise InterpreterError(
-                f"call depth exceeded {self.config.max_call_depth} at '{name}'"
-            )
+            raise call_depth_exceeded(name, self.config.max_call_depth)
         env: dict[str, Value] = dict(zip(fn.params, args))
         self._depth += 1
         self._fn_stack.append(name)
@@ -153,14 +158,9 @@ class Interpreter:
             self._depth -= 1
 
     def _call_library(self, name: str, args: Sequence[Value]) -> Value:
-        result = self.runtime.call(name, args)
-        self.metrics.on_enter(name)
-        self.listener.on_enter(name)
-        for kind, amount in result.costs.items():
-            self._charge(kind, amount)
-        self.metrics.on_exit(name)
-        self.listener.on_exit(name)
-        return result.value
+        return execute_library_call(
+            self.runtime, name, args, self.metrics, self.listener, self._charge
+        )
 
     # ------------------------------------------------------------------
     # statements
@@ -186,11 +186,9 @@ class Interpreter:
             return FLOW_NORMAL, None
         if isinstance(stmt, Store):
             self._charge(CostKind.COMPUTE, self.config.stmt_cost)
-            arr = self._lookup(stmt.array, env)
-            if not isinstance(arr, Array):
-                raise InterpreterError(
-                    f"'{stmt.array}' is not an array in {self.current_function}"
-                )
+            arr = require_array(
+                self._lookup(stmt.array, env), stmt.array, self.current_function
+            )
             idx = self._eval(stmt.index, env)
             val = self._eval(stmt.value, env)
             arr.store(int(idx), float(val))
@@ -254,10 +252,7 @@ class Interpreter:
         stop = self._eval(stmt.stop, env)
         step = self._eval(stmt.step, env)
         if not isinstance(step, (int, float)) or step <= 0:
-            raise InterpreterError(
-                f"loop step must be a positive number, got {step!r} "
-                f"in {self.current_function}"
-            )
+            raise bad_loop_step(step, self.current_function)
         env[stmt.var] = start
         iters = 0
         flow: int = FLOW_NORMAL
@@ -326,12 +321,11 @@ class Interpreter:
         if isinstance(expr, BinOp):
             return self._eval_binop(expr, env)
         if isinstance(expr, UnOp):
-            operand = self._eval(expr.operand, env)
-            return (not operand) if expr.op == "not" else -operand
+            return apply_unop(expr.op, self._eval(expr.operand, env))
         if isinstance(expr, Load):
-            arr = self._lookup(expr.array, env)
-            if not isinstance(arr, Array):
-                raise InterpreterError(f"'{expr.array}' is not an array")
+            arr = require_array(
+                self._lookup(expr.array, env), expr.array, self.current_function
+            )
             return arr.load(int(self._eval(expr.index, env)))
         if isinstance(expr, Intrinsic):
             return self._eval_intrinsic(expr, env)
@@ -355,31 +349,24 @@ class Interpreter:
             return lhs if truthy(lhs) else self._eval(expr.rhs, env)
         lhs = self._eval(expr.lhs, env)
         rhs = self._eval(expr.rhs, env)
-        return _apply_binop(op, lhs, rhs)
+        return apply_binop(op, lhs, rhs)
 
     def _eval_intrinsic(self, expr: Intrinsic, env: dict[str, Value]) -> Value:
         name = expr.name
         if name == "work" or name == "mem_work":
-            amount = float(self._eval(expr.args[0], env))
-            if amount < 0:
-                raise InterpreterError("negative work amount")
+            amount = check_work_amount(float(self._eval(expr.args[0], env)))
             kind = CostKind.COMPUTE if name == "work" else CostKind.MEMORY
             self._charge(kind, amount)
             return amount
         if name == "alloc":
-            size = int(self._eval(expr.args[0], env))
-            self._charge(CostKind.MEMORY, float(size) * 0.01)
-            return Array(size)
+            arr, cost = alloc_array(self._eval(expr.args[0], env))
+            self._charge(CostKind.MEMORY, cost)
+            return arr
         arg = self._eval(expr.args[0], env)
-        if name == "log2":
-            return math.log2(arg) if arg > 0 else 0.0
-        if name == "sqrt":
-            return math.sqrt(arg)
-        if name == "abs":
-            return abs(arg)
-        if name == "int":
-            return int(arg)
-        raise InterpreterError(f"unknown intrinsic {name!r}")
+        fn = MATH_INTRINSICS.get(name)
+        if fn is None:
+            raise InterpreterError(f"unknown intrinsic {name!r}")
+        return fn(arg)
 
     def _eval_pure(self, expr: Expr, env: dict[str, Value]) -> Value:
         """Evaluate an expression known to be free of calls/cost intrinsics
@@ -395,63 +382,27 @@ class Interpreter:
             if expr.op == "or":
                 lhs = self._eval_pure(expr.lhs, env)
                 return lhs if truthy(lhs) else self._eval_pure(expr.rhs, env)
-            return _apply_binop(
+            return apply_binop(
                 expr.op,
                 self._eval_pure(expr.lhs, env),
                 self._eval_pure(expr.rhs, env),
             )
         if isinstance(expr, UnOp):
-            operand = self._eval_pure(expr.operand, env)
-            return (not operand) if expr.op == "not" else -operand
+            return apply_unop(expr.op, self._eval_pure(expr.operand, env))
         if isinstance(expr, Load):
-            arr = self._lookup(expr.array, env)
-            if not isinstance(arr, Array):
-                raise InterpreterError(f"'{expr.array}' is not an array")
+            arr = require_array(
+                self._lookup(expr.array, env), expr.array, self.current_function
+            )
             return arr.load(int(self._eval_pure(expr.index, env)))
         if isinstance(expr, Intrinsic):
-            arg = self._eval_pure(expr.args[0], env)
-            if expr.name == "log2":
-                return math.log2(arg) if arg > 0 else 0.0
-            if expr.name == "sqrt":
-                return math.sqrt(arg)
-            if expr.name == "abs":
-                return abs(arg)
-            if expr.name == "int":
-                return int(arg)
+            fn = MATH_INTRINSICS.get(expr.name)
+            if fn is not None:
+                return fn(self._eval_pure(expr.args[0], env))
         raise InterpreterError(
             f"impure expression in pure context: {type(expr).__name__}"
         )
 
 
-def _apply_binop(op: str, lhs: Value, rhs: Value) -> Value:
-    if op == "+":
-        return lhs + rhs
-    if op == "-":
-        return lhs - rhs
-    if op == "*":
-        return lhs * rhs
-    if op == "/":
-        return lhs / rhs
-    if op == "//":
-        return lhs // rhs
-    if op == "%":
-        return lhs % rhs
-    if op == "**":
-        return lhs**rhs
-    if op == "<":
-        return lhs < rhs
-    if op == "<=":
-        return lhs <= rhs
-    if op == ">":
-        return lhs > rhs
-    if op == ">=":
-        return lhs >= rhs
-    if op == "==":
-        return lhs == rhs
-    if op == "!=":
-        return lhs != rhs
-    if op == "min":
-        return min(lhs, rhs)
-    if op == "max":
-        return max(lhs, rhs)
-    raise InterpreterError(f"unknown operator {op!r}")
+#: Backward-compatible alias; the shared implementation lives in
+#: :mod:`repro.interp.semantics`.
+_apply_binop = apply_binop

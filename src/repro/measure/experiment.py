@@ -20,6 +20,7 @@ from typing import Iterable, Mapping, Protocol, Sequence
 import numpy as np
 
 from ..errors import DesignError
+from ..interp import DEFAULT_MEASUREMENT_ENGINE
 from ..interp.config import DEFAULT_CONFIG, ExecConfig
 from ..interp.runtime import LibraryRuntime
 from ..interp.values import Value
@@ -214,6 +215,7 @@ def run_configuration(
     repetitions: int,
     seed: int,
     key: ConfigKey,
+    engine: str = DEFAULT_MEASUREMENT_ENGINE,
 ) -> ConfigRunResult:
     """Profile one configuration and derive its noisy repetitions.
 
@@ -221,6 +223,8 @@ def run_configuration(
     ``(seed, function, key, repetition)`` via :func:`~repro.measure.noise.rng_for`
     — never from execution order — so results are bit-identical whether
     configurations run serially, in any order, or on different processes.
+    *engine* selects the execution engine; both engines produce
+    bit-identical profiles, so it does not perturb measurements either.
     """
     factor = contention.factor(setup.ranks_per_node)
     profile = profile_run(
@@ -231,6 +235,7 @@ def run_configuration(
         exec_config=setup.exec_config,
         contention_factor=factor,
         entry=setup.entry,
+        engine=engine,
     )
     result = ConfigRunResult(key=key, profile=profile)
     for name, node in profile.flat().items():
@@ -282,6 +287,8 @@ class ExperimentRunner:
     contention: ContentionModel = field(default_factory=NoContention)
     repetitions: int = 5
     seed: int = 0
+    #: Execution engine for the profiled runs ("compiled" | "tree").
+    engine: str = DEFAULT_MEASUREMENT_ENGINE
 
     def run(
         self, design: Iterable[Mapping[str, float]]
@@ -299,6 +306,7 @@ class ExperimentRunner:
                 self.repetitions,
                 self.seed,
                 config_key(parameters, config),
+                engine=self.engine,
             )
             for config in design
         ]

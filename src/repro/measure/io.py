@@ -207,6 +207,8 @@ def run_fingerprint(
     repetitions: int,
     seed: int,
     workload_repr: str = "",
+    *,
+    engine: str,
 ) -> str:
     """Content-addressed key of one configuration's run.
 
@@ -215,7 +217,10 @@ def run_fingerprint(
     instrumentation plan, the execution config, the noise model and seed,
     the contention model, the repetition count, and a workload
     fingerprint covering non-modeled defaults (which alter the setup the
-    workload derives from the same configuration point).
+    workload derives from the same configuration point).  The execution
+    engine identity also participates: engines are differentially tested
+    to be bit-identical, but a cache entry must still never cross engines
+    — an engine bug would otherwise be masked (or spread) by the cache.
     """
     payload = {
         "cache_version": CACHE_VERSION,
@@ -232,6 +237,7 @@ def run_fingerprint(
         "repetitions": int(repetitions),
         "seed": int(seed),
         "workload": workload_repr,
+        "engine": str(engine),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()

@@ -31,6 +31,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
+from ..interp import DEFAULT_MEASUREMENT_ENGINE
 from ..mpisim.contention import ContentionModel, NoContention
 from .experiment import (
     ConfigKey,
@@ -114,6 +115,7 @@ class _ConfigTask:
     repetitions: int
     seed: int
     key: ConfigKey
+    engine: str = DEFAULT_MEASUREMENT_ENGINE
 
 
 def _run_task(task: _ConfigTask) -> tuple[int, ConfigRunResult]:
@@ -129,6 +131,7 @@ def _run_task(task: _ConfigTask) -> tuple[int, ConfigRunResult]:
         task.repetitions,
         task.seed,
         task.key,
+        engine=task.engine,
     )
     return task.index, result
 
@@ -169,6 +172,10 @@ class ParallelExperimentRunner:
     seed: int = 0
     n_jobs: int = 1
     cache_dir: str | pathlib.Path | None = None
+    #: Execution engine for the profiled runs ("compiled" | "tree").
+    #: Folded into cache fingerprints so a cache populated by one engine
+    #: is never served to the other.
+    engine: str = DEFAULT_MEASUREMENT_ENGINE
 
     def __post_init__(self) -> None:
         if self.n_jobs < 1:
@@ -231,6 +238,7 @@ class ParallelExperimentRunner:
             repetitions=self.repetitions,
             seed=self.seed,
             workload_repr=workload_repr,
+            engine=self.engine,
         )
 
     # -- execution ---------------------------------------------------------
@@ -275,6 +283,7 @@ class ParallelExperimentRunner:
                         self.repetitions,
                         self.seed,
                         config_key(parameters, configs[index]),
+                        engine=self.engine,
                     )
             else:
                 self._run_pool(parameters, configs, pending, results)
@@ -307,6 +316,7 @@ class ParallelExperimentRunner:
                 repetitions=self.repetitions,
                 seed=self.seed,
                 key=config_key(parameters, configs[index]),
+                engine=self.engine,
             )
             for index in pending
         ]

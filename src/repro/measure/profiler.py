@@ -16,9 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from ..interp import DEFAULT_MEASUREMENT_ENGINE, make_engine
 from ..interp.config import DEFAULT_CONFIG, ExecConfig
 from ..interp.events import CostKind, NullListener
-from ..interp.interpreter import Interpreter
 from ..interp.runtime import LibraryRuntime
 from ..interp.values import Value
 from ..ir.program import Program
@@ -199,11 +199,21 @@ def profile_run(
     exec_config: ExecConfig = DEFAULT_CONFIG,
     contention_factor: float = 1.0,
     entry: str | None = None,
+    engine: str = DEFAULT_MEASUREMENT_ENGINE,
 ) -> ProfileResult:
-    """Execute *program* once under *plan* and return its profile."""
+    """Execute *program* once under *plan* and return its profile.
+
+    *engine* selects the execution engine (``"compiled"`` by default —
+    the measurement hot path; ``"tree"`` for the tree-walker).  Both
+    yield bit-identical profiles.
+    """
     listener = ScorePListener(plan)
-    interp = Interpreter(
-        program, runtime=runtime, config=exec_config, listener=listener
+    interp = make_engine(
+        program,
+        engine,
+        runtime=runtime,
+        config=exec_config,
+        listener=listener,
     )
     result = interp.run(args, entry=entry)
     return ProfileResult(

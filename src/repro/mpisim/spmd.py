@@ -27,8 +27,8 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from ..interp import DEFAULT_MEASUREMENT_ENGINE, make_engine
 from ..interp.config import DEFAULT_CONFIG, ExecConfig
-from ..interp.interpreter import Interpreter
 from ..interp.values import Value
 from ..ir.program import Program
 from ..taint.engine import TaintInterpreter
@@ -80,6 +80,9 @@ class SPMDSimulator:
     ranks_per_node: int = 1
     network: NetworkModel = DEFAULT_NETWORK
     exec_config: ExecConfig = DEFAULT_CONFIG
+    #: Execution engine for the per-rank runs ("compiled" | "tree").
+    #: Taint runs (:meth:`taint_merged`) always use the tree-walker.
+    engine: str = DEFAULT_MEASUREMENT_ENGINE
 
     def _runtime_for(self, rank: int) -> MPIRuntime:
         return MPIRuntime(
@@ -107,8 +110,9 @@ class SPMDSimulator:
         for rank in ranks:
             if not 0 <= rank < self.ranks:
                 raise ValueError(f"rank {rank} outside communicator")
-            interp = Interpreter(
+            interp = make_engine(
                 self.program,
+                self.engine,
                 runtime=self._runtime_for(rank),
                 config=self.exec_config,
             )

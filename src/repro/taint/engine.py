@@ -37,11 +37,20 @@ from ..interp.interpreter import (
     FLOW_NORMAL,
     FLOW_RETURN,
     Interpreter,
-    _apply_binop,
+)
+from ..interp.semantics import (
+    MATH_INTRINSICS,
+    alloc_array,
+    apply_binop,
+    apply_unop,
+    bad_loop_step,
+    call_depth_exceeded,
+    check_work_amount,
+    require_array,
 )
 from ..interp.metrics import MetricsCollector
 from ..interp.runtime import LibraryRuntime
-from ..interp.values import Array, Value, truthy
+from ..interp.values import Value, truthy
 from ..ir.expr import BinOp, Call, Const, Expr, Intrinsic, Load, UnOp, Var
 from ..ir.program import Program
 from ..ir.stmt import (
@@ -216,9 +225,7 @@ class TaintInterpreter(Interpreter):
                 raise RecursionUnsupportedError(msg)
             self.report.warn(msg)
         if self._depth >= self.config.max_call_depth:
-            raise InterpreterError(
-                f"call depth exceeded {self.config.max_call_depth} at '{name}'"
-            )
+            raise call_depth_exceeded(name, self.config.max_call_depth)
         env: dict[str, Value] = dict(zip(fn.params, args))
         frame = ShadowFrame()
         for pname, plabel in zip(fn.params, arglabels):
@@ -300,9 +307,9 @@ class TaintInterpreter(Interpreter):
             return FLOW_NORMAL, None, CLEAN
         if isinstance(stmt, Store):
             self._charge(CostKind.COMPUTE, self.config.stmt_cost)
-            arr = self._lookup(stmt.array, env)
-            if not isinstance(arr, Array):
-                raise InterpreterError(f"'{stmt.array}' is not an array")
+            arr = require_array(
+                self._lookup(stmt.array, env), stmt.array, self.current_function
+            )
             idx, idx_label = self._teval(stmt.index, env)
             val, val_label = self._teval(stmt.value, env)
             arr.store(int(idx), float(val))
@@ -362,9 +369,7 @@ class TaintInterpreter(Interpreter):
         stop, stop_label = self._teval(stmt.stop, env)
         step, step_label = self._teval(stmt.step, env)
         if not isinstance(step, (int, float)) or step <= 0:
-            raise InterpreterError(
-                f"loop step must be a positive number, got {step!r}"
-            )
+            raise bad_loop_step(step, self.current_function)
         # The loop exit condition is ``var < stop`` with var derived from
         # start and step: its label is the union of all three (the sink of
         # the loop-count analysis, paper 4.1).
@@ -484,15 +489,15 @@ class TaintInterpreter(Interpreter):
                 return lhs, llabel
             lhs, llabel = self._teval(expr.lhs, env)
             rhs, rlabel = self._teval(expr.rhs, env)
-            return _apply_binop(op, lhs, rhs), self._join_data(llabel, rlabel)
+            return apply_binop(op, lhs, rhs), self._join_data(llabel, rlabel)
         if isinstance(expr, UnOp):
             operand, label = self._teval(expr.operand, env)
-            value = (not operand) if expr.op == "not" else -operand
+            value = apply_unop(expr.op, operand)
             return value, label if self.policy.data_flow else CLEAN
         if isinstance(expr, Load):
-            arr = self._lookup(expr.array, env)
-            if not isinstance(arr, Array):
-                raise InterpreterError(f"'{expr.array}' is not an array")
+            arr = require_array(
+                self._lookup(expr.array, env), expr.array, self.current_function
+            )
             idx, idx_label = self._teval(expr.index, env)
             value = arr.load(int(idx))
             elem_label = self.heap.load(arr, int(idx))
@@ -525,30 +530,22 @@ class TaintInterpreter(Interpreter):
         name = expr.name
         if name in ("work", "mem_work"):
             amount, label = self._teval(expr.args[0], env)
-            amount = float(amount)
-            if amount < 0:
-                raise InterpreterError("negative work amount")
+            amount = check_work_amount(float(amount))
             kind = CostKind.COMPUTE if name == "work" else CostKind.MEMORY
             self._charge(kind, amount)
             return amount, label if self.policy.data_flow else CLEAN
         if name == "alloc":
             size, _label = self._teval(expr.args[0], env)
-            self._charge(CostKind.MEMORY, float(int(size)) * 0.01)
-            return Array(int(size)), CLEAN
+            arr, cost = alloc_array(size)
+            self._charge(CostKind.MEMORY, cost)
+            return arr, CLEAN
         value, label = self._teval(expr.args[0], env)
         if not self.policy.data_flow:
             label = CLEAN
-        import math
-
-        if name == "log2":
-            return (math.log2(value) if value > 0 else 0.0), label
-        if name == "sqrt":
-            return math.sqrt(value), label
-        if name == "abs":
-            return abs(value), label
-        if name == "int":
-            return int(value), label
-        raise InterpreterError(f"unknown intrinsic {name!r}")
+        fn = MATH_INTRINSICS.get(name)
+        if fn is None:
+            raise InterpreterError(f"unknown intrinsic {name!r}")
+        return fn(value), label
 
     # ------------------------------------------------------------------
     # make sure untainted entry points still work

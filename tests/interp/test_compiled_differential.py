@@ -1,0 +1,288 @@
+"""Differential property tests: compiled engine ≡ tree-walking engine.
+
+The compiled engine must be *bit-identical* to the tree-walker — same
+``RunResult`` (value, steps, totals, per-function metrics, loop
+iterations), same execution-event streams, and the same raised errors at
+the same point — over randomized IR programs and over all bundled apps.
+These tests are the license for the measurement layer to default to the
+compiled engine.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interp import CostKind, ExecConfig, TableRuntime, make_engine
+from repro.interp.runtime import LibraryCall
+from repro.ir.builder import (
+    ProgramBuilder,
+    add,
+    binop,
+    call,
+    const,
+    intrinsic,
+    load,
+    lt,
+    min_,
+    mod,
+    mul,
+    neg,
+    sub,
+    var,
+)
+from repro.measure.instrumentation import full_plan
+from repro.measure.io import profile_to_dict
+from repro.measure.profiler import profile_run
+
+
+class RecordingListener:
+    """Captures the full execution-event stream for exact comparison."""
+
+    def __init__(self) -> None:
+        self.events: list[tuple] = []
+
+    def on_enter(self, function):
+        self.events.append(("enter", function))
+
+    def on_exit(self, function):
+        self.events.append(("exit", function))
+
+    def on_cost(self, kind, amount):
+        self.events.append(("cost", kind, amount))
+
+    def on_loop_iterations(self, function, loop_id, count):
+        self.events.append(("iters", function, loop_id, count))
+
+    def on_aggregate_calls(self, callee, count, unit_compute, unit_memory):
+        self.events.append(("agg", callee, count, unit_compute, unit_memory))
+
+
+def _runtime() -> TableRuntime:
+    rt = TableRuntime()
+    rt.register(
+        "LIB_scale",
+        lambda x: LibraryCall(value=x * 2, costs={CostKind.COMM: 5.0}),
+    )
+    return rt
+
+
+def run_one(program, engine: str, args, config: ExecConfig):
+    """Run *program* on *engine*; canonicalize outcome (result or error)."""
+    listener = RecordingListener()
+    eng = make_engine(
+        program, engine, runtime=_runtime(), config=config, listener=listener
+    )
+    try:
+        result = eng.run(args)
+    except Exception as exc:  # noqa: BLE001 - error parity is the point
+        return ("error", type(exc).__name__, str(exc), listener.events)
+    functions = {
+        name: (fm.calls, fm.compute, fm.memory, fm.comm)
+        for name, fm in result.metrics.functions.items()
+    }
+    return (
+        "ok",
+        result.value,
+        result.steps,
+        dict(result.metrics.totals),
+        functions,
+        dict(result.metrics.loop_iterations),
+        listener.events,
+    )
+
+
+def assert_equivalent(program, args, config: ExecConfig) -> None:
+    tree = run_one(program, "tree", args, config)
+    compiled = run_one(program, "compiled", args, config)
+    assert tree == compiled, (
+        f"engines diverged\ntree:     {tree!r}\ncompiled: {compiled!r}"
+    )
+
+
+# ----------------------------------------------------------------------
+# randomized program generation
+
+ARITH_OPS = ("+", "-", "*", "min", "max")
+CMP_OPS = ("<", "<=", ">", ">=", "==", "!=")
+
+
+def _gen_expr(draw, names: list[str], depth: int):
+    """A random arithmetic expression over the defined *names*."""
+    if depth <= 0 or draw(st.integers(0, 3)) == 0:
+        if names and draw(st.booleans()):
+            return var(draw(st.sampled_from(names)))
+        return const(draw(st.integers(-3, 5)))
+    choice = draw(st.integers(0, 4))
+    if choice <= 1:
+        op = draw(st.sampled_from(ARITH_OPS))
+        return binop(
+            op,
+            _gen_expr(draw, names, depth - 1),
+            _gen_expr(draw, names, depth - 1),
+        )
+    if choice == 2:
+        return mod(_gen_expr(draw, names, depth - 1), const(draw(st.integers(1, 4))))
+    if choice == 3:
+        return neg(_gen_expr(draw, names, depth - 1))
+    return intrinsic("abs", _gen_expr(draw, names, depth - 1))
+
+
+def _gen_cond(draw, names: list[str]):
+    op = draw(st.sampled_from(CMP_OPS))
+    return binop(op, _gen_expr(draw, names, 1), _gen_expr(draw, names, 1))
+
+
+def _gen_block(draw, f, names: list[str], depth: int, in_loop: bool) -> None:
+    """Emit 1-4 random statements into builder *f* (mutates *names*)."""
+    for _ in range(draw(st.integers(1, 4))):
+        kind = draw(st.integers(0, 9))
+        if kind <= 2:  # assignment (possibly to a fresh local)
+            if names and draw(st.booleans()):
+                name = draw(st.sampled_from(names))
+            else:
+                name = f"t{len(names)}"
+            f.assign(name, _gen_expr(draw, names, 2))
+            if name not in names:
+                names.append(name)
+        elif kind == 3:  # cost intrinsic (sometimes negative -> error parity)
+            amount = _gen_expr(draw, names, 1)
+            if draw(st.booleans()):
+                amount = intrinsic("abs", amount)
+            f.work(amount)
+        elif kind == 4 and depth > 0:  # counted loop
+            loop_var = f"i{depth}{len(names)}"
+            stop = min_(_gen_expr(draw, names, 1), const(draw(st.integers(0, 5))))
+            if draw(st.booleans()):
+                # Pure-cost body: eligible for the O(1) fast path.
+                with f.for_(loop_var, 0, stop):
+                    f.work(float(draw(st.integers(1, 9))))
+            else:
+                with f.for_(loop_var, 0, stop):
+                    inner = names + [loop_var]
+                    _gen_block(draw, f, inner, depth - 1, in_loop=True)
+        elif kind == 5 and depth > 0:  # bounded while
+            counter = f"w{depth}{len(names)}"
+            f.assign(counter, 0)
+            bound = draw(st.integers(0, 4))
+            with f.while_(lt(var(counter), bound)):
+                f.assign(counter, add(var(counter), 1))
+                inner = names + [counter]
+                _gen_block(draw, f, inner, depth - 1, in_loop=True)
+        elif kind == 6 and depth > 0:  # branch
+            with f.if_(_gen_cond(draw, names)):
+                _gen_block(draw, f, list(names), depth - 1, in_loop)
+            with f.else_():
+                _gen_block(draw, f, list(names), depth - 1, in_loop)
+        elif kind == 7 and in_loop:  # guarded break/continue
+            with f.if_(_gen_cond(draw, names)):
+                if draw(st.booleans()):
+                    f.brk()
+                else:
+                    f.cont()
+        elif kind == 8:  # array traffic (indices mostly in bounds)
+            arr = f"arr{len(names)}"
+            f.alloc(arr, 4)
+            f.store(arr, mod(_gen_expr(draw, names, 1), 4), _gen_expr(draw, names, 1))
+            f.assign(f"t{len(names)}", load(arr, mod(_gen_expr(draw, names, 1), 4)))
+            names.append(f"t{len(names)}")
+        else:  # call (program function or library routine)
+            callee = draw(st.sampled_from(["leaf", "helper", "LIB_scale"]))
+            target = f"t{len(names)}"
+            if callee == "helper":
+                f.assign(
+                    target,
+                    call(callee, _gen_expr(draw, names, 1), _gen_expr(draw, names, 1)),
+                )
+            else:
+                f.assign(target, call(callee, _gen_expr(draw, names, 1)))
+            names.append(target)
+
+
+@st.composite
+def programs(draw):
+    pb = ProgramBuilder()
+    with pb.function("leaf", ["x"], kind="accessor") as f:
+        f.assign("v", mul(var("x"), 2.0))
+        f.work(3.0)
+        f.ret(var("v"))
+    with pb.function("helper", ["n", "m"]) as f:
+        f.assign("acc", 0)
+        with f.for_("i", 0, min_(var("n"), 6)):
+            f.assign("acc", add(var("acc"), call("leaf", var("i"))))
+            f.work(2.0)
+        f.ret(add(var("acc"), var("m")))
+    with pb.function("main", ["a", "b"]) as f:
+        names = ["a", "b"]
+        _gen_block(draw, f, names, depth=2, in_loop=False)
+        f.ret(_gen_expr(draw, names, 1))
+    return pb.build(entry="main")
+
+
+class TestRandomizedDifferential:
+    @given(
+        program=programs(),
+        a=st.integers(0, 6),
+        b=st.integers(-2, 6),
+        fast_loops=st.booleans(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_engines_bit_identical(self, program, a, b, fast_loops):
+        # Bounded step budget: random assignments can reset a while
+        # counter into an infinite loop; both engines must then raise the
+        # identical limit error instead of hanging the test.
+        config = ExecConfig(fast_loops=fast_loops, step_limit=20_000)
+        assert_equivalent(program, {"a": a, "b": b}, config)
+
+    @given(program=programs(), a=st.integers(0, 6), b=st.integers(0, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_step_limit_errors_identical(self, program, a, b):
+        """Tiny step budget: both engines must fail at the same step with
+        the same message (which names the function and the limit)."""
+        config = ExecConfig(step_limit=7)
+        tree = run_one(program, "tree", {"a": a, "b": b}, config)
+        compiled = run_one(program, "compiled", {"a": a, "b": b}, config)
+        assert tree == compiled
+
+
+class TestAppDifferential:
+    """Bit-identical profiles on every bundled application."""
+
+    def _assert_profiles_match(self, workload, config) -> None:
+        program = workload.program()
+        plan = full_plan(program)
+        profiles = []
+        for engine in ("tree", "compiled"):
+            setup = workload.setup(config)
+            profiles.append(
+                profile_run(
+                    program,
+                    setup.args,
+                    plan,
+                    runtime=setup.runtime,
+                    exec_config=setup.exec_config,
+                    entry=setup.entry,
+                    engine=engine,
+                )
+            )
+        tree, compiled = profiles
+        assert profile_to_dict(tree) == profile_to_dict(compiled)
+        assert tree.total_time() == compiled.total_time()
+
+    def test_lulesh(self):
+        from repro.apps.lulesh import LuleshWorkload
+
+        workload = LuleshWorkload()
+        self._assert_profiles_match(workload, workload.taint_config())
+
+    def test_milc(self):
+        from repro.apps.milc import MilcWorkload
+
+        workload = MilcWorkload()
+        self._assert_profiles_match(workload, workload.taint_config())
+
+    def test_synthetic(self):
+        from repro.apps.synthetic import make_scaling_workload
+
+        workload = make_scaling_workload()
+        self._assert_profiles_match(workload, {"p": 6.0, "s": 9.0})
