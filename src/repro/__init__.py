@@ -13,6 +13,17 @@ Quickstart::
     for name, cmp in result.models.items():
         print(name, cmp.hybrid.format())
 
+Or declaratively, with persistent and resumable stage artifacts (see
+:mod:`repro.api` and :mod:`repro.registry`)::
+
+    from repro.api import Campaign
+
+    campaign = Campaign.from_spec(
+        {"app": "lulesh", "parameters": {"p": [27, 64], "size": [10, 20]}},
+        workspace="./campaign-ws",
+    )
+    result = campaign.run()  # reruns resume unchanged stages
+
 Subpackages: :mod:`repro.ir` (program IR), :mod:`repro.interp` (metered
 interpreter), :mod:`repro.taint` (taint engine), :mod:`repro.staticanalysis`
 (compile-time phase), :mod:`repro.volume` (iteration-volume calculus),
@@ -24,6 +35,7 @@ interpreter), :mod:`repro.taint` (taint engine), :mod:`repro.staticanalysis`
 
 from .apps import LuleshWorkload, MilcWorkload, SyntheticWorkload
 from .core import (
+    Campaign,
     HybridModeler,
     PerfTaintPipeline,
     PerfTaintResult,
@@ -39,6 +51,7 @@ from .taint import TaintInterpreter, TaintReport
 __version__ = "1.0.0"
 
 __all__ = [
+    "Campaign",
     "HybridModeler",
     "InstrumentationMode",
     "LuleshWorkload",

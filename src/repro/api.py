@@ -1,0 +1,102 @@
+"""The public Campaign API, in one import.
+
+Everything needed to express, extend, and execute runs declaratively::
+
+    from repro import api
+
+    campaign = api.Campaign.from_spec(
+        {
+            "app": "lulesh",
+            "parameters": {"p": [27, 64, 125], "size": [10, 20, 30]},
+            "workspace": "./campaign-ws",
+        }
+    )
+    result = campaign.run()        # persists every stage artifact
+    result = campaign.run()        # instant: all stages resume
+
+Extension points are the decorator registries (see
+:mod:`repro.registry`): register a workload, engine, noise/contention
+model, or design strategy, and it becomes addressable from campaign specs
+and the CLI alongside the built-ins.  Importing this module loads every
+bundled component, so the registries are always fully populated.
+"""
+
+from __future__ import annotations
+
+from .core.artifacts import ArtifactStore, artifact_fingerprint
+from .core.pipeline import PerfTaintPipeline, PerfTaintResult
+from .core.stages import (
+    STAGES,
+    Campaign,
+    Stage,
+    run_classify_stage,
+    run_design_stage,
+    run_measure_stage,
+    run_model_stage,
+    run_plan_stage,
+    run_static_stage,
+    run_taint_stage,
+    run_validate_stage,
+    run_volumes_stage,
+)
+from .errors import (
+    ArtifactError,
+    CampaignSpecError,
+    PipelineError,
+    RegistryError,
+    ReproError,
+)
+from .registry import (
+    CONTENTION_REGISTRY,
+    DESIGN_REGISTRY,
+    ENGINE_REGISTRY,
+    NOISE_REGISTRY,
+    WORKLOAD_REGISTRY,
+    Registry,
+    RegistryEntry,
+    load_builtin_components,
+    register_contention,
+    register_design,
+    register_engine,
+    register_noise,
+    register_workload,
+)
+
+load_builtin_components()
+
+__all__ = [
+    "ArtifactError",
+    "ArtifactStore",
+    "CONTENTION_REGISTRY",
+    "Campaign",
+    "CampaignSpecError",
+    "DESIGN_REGISTRY",
+    "ENGINE_REGISTRY",
+    "NOISE_REGISTRY",
+    "PerfTaintPipeline",
+    "PerfTaintResult",
+    "PipelineError",
+    "Registry",
+    "RegistryEntry",
+    "RegistryError",
+    "ReproError",
+    "STAGES",
+    "Stage",
+    "WORKLOAD_REGISTRY",
+    "artifact_fingerprint",
+    "load_builtin_components",
+    "register_contention",
+    "register_design",
+    "register_engine",
+    "register_noise",
+    "register_workload",
+    "run_classify_stage",
+    "run_design_stage",
+    "run_measure_stage",
+    "run_model_stage",
+    "run_plan_stage",
+    "run_static_stage",
+    "run_taint_stage",
+    "run_validate_stage",
+    "run_volumes_stage",
+]

@@ -49,6 +49,7 @@ from ..measure.experiment import RunSetup
 from ..measure.parallel import WorkloadSpec
 from ..mpisim.network import DEFAULT_NETWORK, NetworkModel
 from ..mpisim.runtime import MPIConfig, MPIRuntime
+from ..registry import register_workload
 from .common import (
     add_accessor,
     add_dynamic_helper,
@@ -538,6 +539,7 @@ def build_lulesh() -> Program:
 # workload adapter
 
 
+@register_workload("lulesh", params=("p", "size", "regions", "balance", "cost", "iters"))
 @dataclass
 class LuleshWorkload:
     """The LULESH workload for the measurement/pipeline layers.

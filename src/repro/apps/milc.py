@@ -41,6 +41,7 @@ from ..measure.experiment import RunSetup
 from ..measure.parallel import WorkloadSpec
 from ..mpisim.network import DEFAULT_NETWORK, NetworkModel
 from ..mpisim.runtime import MPIConfig, MPIRuntime
+from ..registry import register_workload
 from .common import (
     add_dynamic_helper,
     add_medium_accessor,
@@ -384,6 +385,13 @@ def build_milc() -> Program:
 # workload adapter
 
 
+@register_workload(
+    "milc",
+    params=(
+        "p", "nx", "ny", "nz", "nt",
+        "steps", "niter", "warms", "trajecs", "nrestart", "mass", "beta",
+    ),
+)
 @dataclass
 class MilcWorkload:
     """The MILC workload for the measurement/pipeline layers.

@@ -26,6 +26,7 @@ from ..measure.experiment import RunSetup
 from ..measure.parallel import WorkloadSpec
 from ..mpisim.network import DEFAULT_NETWORK, NetworkModel
 from ..mpisim.runtime import MPIConfig, MPIRuntime
+from ..registry import register_workload
 
 
 def build_foo_example() -> Program:
@@ -225,6 +226,7 @@ class SyntheticWorkload:
         )
 
 
+@register_workload("synthetic", params=("p", "s"))
 def make_scaling_workload(
     parameters: tuple[str, ...] | None = None,
 ) -> SyntheticWorkload:

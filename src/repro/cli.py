@@ -1,24 +1,28 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Commands mirror the pipeline stages on the bundled workloads:
+Commands mirror the pipeline stages on the registered workloads:
 
 * ``analyze <app>`` — static + taint analysis, Table 2/3 style report;
 * ``model <app> --values p=27,64 size=10,20`` — full pipeline with models;
+* ``run <spec.toml>`` — a declarative campaign with a persistent,
+  resumable artifact workspace;
+* ``apps`` / ``stages`` — list registered workloads and pipeline stages;
 * ``contention <app> --r 2,4,8,16`` — ranks-per-node study (C1);
 * ``segments <app> --p 4,8,32`` — branch-direction validation (C2);
 * ``sweep <app> --values p=2,4 s=4,8 --jobs 4`` — measurement stage only,
   fanned out over worker processes with an optional on-disk run cache.
 
-``<app>`` is ``lulesh`` or ``milc`` (``sweep`` also accepts
-``synthetic``).  ``model`` and ``sweep`` take ``--jobs N`` to parallelize
-the instrumented experiments and ``--cache-dir DIR`` to reuse
-already-measured configurations across invocations; results are
-bit-identical for every jobs count.  Measurement commands take
-``--engine tree|compiled`` to pick the execution engine (default:
-``compiled``, the IR-to-closure compiler; the taint stage always runs on
-the tree-walker) — both engines are bit-identical too.  Everything
-prints plain text; the same functionality is available programmatically
-via :class:`repro.core.PerfTaintPipeline`.
+``<app>`` is any registered workload — the bundled ``lulesh``, ``milc``
+and ``synthetic``, plus anything user code registers via
+:func:`repro.registry.register_workload` before invoking :func:`main`.
+``model`` and ``sweep`` take ``--jobs N`` to parallelize the instrumented
+experiments and ``--cache-dir DIR`` to reuse already-measured
+configurations across invocations; results are bit-identical for every
+jobs count.  Measurement commands take ``--engine`` to pick a registered
+execution engine (default: ``compiled``, the IR-to-closure compiler; the
+taint stage always runs on the tree-walker) — the built-in engines are
+bit-identical too.  Everything prints plain text; the same functionality
+is available programmatically via :mod:`repro.api`.
 """
 
 from __future__ import annotations
@@ -28,47 +32,69 @@ import sys
 import time
 from typing import Sequence
 
-from .apps.lulesh import LuleshWorkload
-from .apps.milc import MilcWorkload
-from .apps.synthetic import make_scaling_workload
-from .core.classify import table3_counts
 from .core.pipeline import PerfTaintPipeline
+from .core.classify import table3_counts
 from .core.report import render_summary, render_table2, render_table3
+from .core.stages import STAGES, Campaign
 from .core.validation import detect_segmented_behavior
-from .interp import DEFAULT_MEASUREMENT_ENGINE, ENGINES
+from .errors import ReproError
+from .interp import DEFAULT_MEASUREMENT_ENGINE
 from .libdb import MPI_DATABASE
 from .measure.instrumentation import InstrumentationMode
 from .measure.profiler import APP_KEY
 from .mpisim.contention import LogQuadraticContention
-
-WORKLOADS = {"lulesh": LuleshWorkload, "milc": MilcWorkload}
-
-#: The measurement-only ``sweep`` command additionally accepts a small
-#: synthetic app, cheap enough for smoke tests of the parallel runner.
-SWEEP_WORKLOADS = {**WORKLOADS, "synthetic": make_scaling_workload}
-
-LULESH_PARAMS = ["p", "size", "regions", "balance", "cost", "iters"]
-MILC_PARAMS = [
-    "p", "nx", "ny", "nz", "nt",
-    "steps", "niter", "warms", "trajecs", "nrestart", "mass", "beta",
-]
+from .registry import (
+    ENGINE_REGISTRY,
+    WORKLOAD_REGISTRY,
+    load_builtin_components,
+)
 
 
-def _workload(
-    name: str,
-    parameters: tuple[str, ...] | None = None,
-    registry: dict | None = None,
-):
-    registry = WORKLOADS if registry is None else registry
+def _workload(name: str, parameters: tuple[str, ...] | None = None):
+    """Build the registered workload *name*.
+
+    Unknown names exit with a one-line error listing every registered
+    app — including apps registered by user code, not a frozen literal
+    list.
+    """
     try:
-        cls = registry[name]
-    except KeyError:
-        # Exit with a one-line error instead of a raw KeyError traceback.
+        factory = WORKLOAD_REGISTRY.get(name)
+    except ReproError:
         raise SystemExit(
             f"error: unknown app '{name}' "
-            f"(valid apps: {', '.join(sorted(registry))})"
+            f"(valid apps: {', '.join(WORKLOAD_REGISTRY.names())})"
         ) from None
-    return cls(parameters=parameters) if parameters else cls()
+    return factory(parameters=parameters) if parameters else factory()
+
+
+def _check_app_supports(workload, config: dict, app: str) -> None:
+    """Exit with a one-line error when *workload* cannot run *config*.
+
+    With app names validated against the live registry (not argparse
+    ``choices``), a command's hard-coded inputs may not exist on every
+    registered workload — probe the setup instead of letting a raw
+    ``KeyError`` escape mid-run.
+    """
+    try:
+        workload.setup(dict(config))
+    except KeyError as exc:
+        raise SystemExit(
+            f"error: app '{app}' does not support this command: "
+            f"the workload needs an input {exc.args[0]!r} that the "
+            f"command's configuration does not provide"
+        ) from None
+
+
+def _table_params(workload, name: str) -> list[str]:
+    """Table 3 rows: the registered parameter list, or the workload's
+    annotated parameters plus the implicit ``p``."""
+    params = WORKLOAD_REGISTRY.entry(name).metadata.get("params")
+    if params:
+        return list(params)
+    annotated = getattr(workload, "annotated", None)
+    if annotated:
+        return ["p", *annotated]
+    return list(workload.parameters)
 
 
 def _positive_int(text: str) -> int:
@@ -109,12 +135,13 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     pipeline = PerfTaintPipeline(workload=workload)
     static, taint, volumes, deps, classification = pipeline.analyze()
     print(render_table2(args.app.upper(), classification))
-    params = LULESH_PARAMS if args.app == "lulesh" else MILC_PARAMS
     print()
     print(
         render_table3(
             args.app.upper(),
-            table3_counts(workload.program(), taint, params),
+            table3_counts(
+                workload.program(), taint, _table_params(workload, args.app)
+            ),
         )
     )
     if taint.warnings:
@@ -127,6 +154,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 def cmd_model(args: argparse.Namespace) -> int:
     values = _parse_values(args.values)
     workload = _workload(args.app, tuple(values))
+    _check_app_supports(
+        workload, {name: vals[0] for name, vals in values.items()}, args.app
+    )
     pipeline = PerfTaintPipeline(
         workload=workload,
         repetitions=args.repetitions,
@@ -144,8 +174,44 @@ def cmd_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_run(args: argparse.Namespace) -> int:
+    campaign = Campaign.from_toml(args.spec, workspace=args.workspace)
+    if args.jobs is not None:
+        campaign.n_jobs = args.jobs
+    started = time.perf_counter()
+    result = campaign.run()
+    elapsed = time.perf_counter() - started
+    name = getattr(campaign.workload, "name", "campaign")
+    print(render_summary(str(name).upper(), result))
+    print()
+    for stage_name, how in campaign.stage_stats.items():
+        print(f"  {stage_name:<9} {how}")
+    print(f"{campaign.stats_line()} in {elapsed:.2f}s")
+    if campaign.workspace is not None:
+        print(f"workspace: {campaign.workspace.root}")
+    return 0
+
+
+def cmd_apps(args: argparse.Namespace) -> int:
+    for entry in WORKLOAD_REGISTRY:
+        params = entry.metadata.get("params")
+        extra = f"  (parameters: {', '.join(params)})" if params else ""
+        print(f"{entry.name:<12} {entry.description}{extra}")
+    return 0
+
+
+def cmd_stages(args: argparse.Namespace) -> int:
+    for stage in STAGES.values():
+        inputs = ", ".join(stage.inputs) if stage.inputs else "-"
+        print(f"{stage.name:<9} <- {inputs:<24} {stage.description}")
+    return 0
+
+
 def cmd_contention(args: argparse.Namespace) -> int:
     workload = _workload(args.app, ("r",))
+    _check_app_supports(
+        workload, {"r": 2.0, "p": args.p, "size": args.size}, args.app
+    )
     pipeline = PerfTaintPipeline(
         workload=workload,
         repetitions=args.repetitions,
@@ -181,8 +247,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from .measure.parallel import ParallelExperimentRunner
 
     values = _parse_values(args.values)
-    workload = _workload(args.app, tuple(values), registry=SWEEP_WORKLOADS)
+    workload = _workload(args.app, tuple(values))
     design = full_factorial(values)
+    _check_app_supports(workload, design[0], args.app)
     runner = ParallelExperimentRunner(
         workload=workload,
         plan=full_plan(workload.program()),
@@ -222,6 +289,7 @@ def cmd_segments(args: argparse.Namespace) -> int:
         {"p": float(p), "size": args.size}
         for p in args.p.split(",")
     ]
+    _check_app_supports(workload, configs[0], args.app)
     findings = detect_segmented_behavior(
         workload.program(),
         configs,
@@ -243,14 +311,24 @@ def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine",
         default=DEFAULT_MEASUREMENT_ENGINE,
-        choices=sorted(ENGINES),
+        choices=ENGINE_REGISTRY.names(),
         help="execution engine for the measurement stage (the taint "
-        "stage always uses the tree-walker); both engines produce "
-        "bit-identical results",
+        "stage always uses the tree-walker); the built-in engines "
+        "produce bit-identical results",
+    )
+
+
+def _add_app_arg(parser: argparse.ArgumentParser) -> None:
+    # No argparse ``choices``: validation happens in ``_workload`` against
+    # the live registry, so apps registered by user code are accepted and
+    # unknown names list the full registered set.
+    parser.add_argument(
+        "app", help=f"one of: {', '.join(WORKLOAD_REGISTRY.names())}"
     )
 
 
 def build_parser() -> argparse.ArgumentParser:
+    load_builtin_components()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Perf-Taint reproduction: tainted performance modeling",
@@ -258,11 +336,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("analyze", help="static + taint analysis report")
-    p.add_argument("app", choices=sorted(WORKLOADS))
+    _add_app_arg(p)
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("model", help="run the full modeling pipeline")
-    p.add_argument("app", choices=sorted(WORKLOADS))
+    _add_app_arg(p)
     p.add_argument(
         "--values",
         nargs="+",
@@ -296,10 +374,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_model)
 
     p = sub.add_parser(
+        "run",
+        help="run a declarative campaign spec (TOML) with resumable "
+        "stage artifacts",
+    )
+    p.add_argument("spec", help="path to a campaign spec file")
+    p.add_argument(
+        "--workspace",
+        type=_cache_dir,
+        default=None,
+        help="stage-artifact workspace directory (overrides the spec; "
+        "reruns resume unchanged stages from it)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help="override the spec's worker-process count",
+    )
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("apps", help="list registered workloads")
+    p.set_defaults(func=cmd_apps)
+
+    p = sub.add_parser(
+        "stages", help="list the campaign stage graph (name <- inputs)"
+    )
+    p.set_defaults(func=cmd_stages)
+
+    p = sub.add_parser(
         "sweep",
         help="measurement stage only, parallel with an optional run cache",
     )
-    p.add_argument("app", help=f"one of: {', '.join(sorted(SWEEP_WORKLOADS))}")
+    _add_app_arg(p)
     p.add_argument(
         "--values",
         nargs="+",
@@ -318,7 +425,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("contention", help="ranks-per-node study (C1)")
-    p.add_argument("app", choices=sorted(WORKLOADS))
+    _add_app_arg(p)
     p.add_argument("--r", default="2,4,8,12,16", help="ranks/node values")
     p.add_argument("--p", type=float, default=64)
     p.add_argument("--size", type=float, default=16)
@@ -329,7 +436,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_contention)
 
     p = sub.add_parser("segments", help="branch-direction validation (C2)")
-    p.add_argument("app", choices=sorted(WORKLOADS))
+    _add_app_arg(p)
     p.add_argument("--p", default="4,8,16,32,64", help="rank counts to probe")
     p.add_argument("--size", type=float, default=16)
     p.set_defaults(func=cmd_segments)
@@ -340,7 +447,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}") from exc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,6 +1,7 @@
 """Perf-Taint core: the hybrid tainted-performance-modeling pipeline."""
 
 from .annotations import register_parameters, registered_parameters
+from .artifacts import ArtifactStore, artifact_fingerprint
 from .classify import Classification, classify_functions, table3_counts
 from .experiment_design import (
     DesignDecision,
@@ -10,6 +11,7 @@ from .experiment_design import (
 )
 from .hybrid import HybridModeler, ModelComparison
 from .pipeline import PerfTaintPipeline, PerfTaintResult, core_hours
+from .stages import STAGES, Campaign, Stage
 from .report import (
     format_table,
     render_models,
@@ -26,6 +28,8 @@ from .validation import (
 )
 
 __all__ = [
+    "ArtifactStore",
+    "Campaign",
     "Classification",
     "ContentionFinding",
     "DesignDecision",
@@ -33,7 +37,10 @@ __all__ = [
     "ModelComparison",
     "PerfTaintPipeline",
     "PerfTaintResult",
+    "STAGES",
     "SegmentFinding",
+    "Stage",
+    "artifact_fingerprint",
     "classify_functions",
     "core_hours",
     "design_experiments",

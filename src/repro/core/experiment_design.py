@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from ..measure.experiment import full_factorial, one_at_a_time
+from ..registry import register_design
 from ..taint.report import TaintReport
 from ..volume.depclass import ProgramDependencies
 from ..volume.symbolic import Volume
@@ -179,4 +180,69 @@ def design_experiments(
         strategy=strategy,
         naive_size=naive,
         notes=notes,
+    )
+
+
+# ----------------------------------------------------------------------
+# registered design strategies (the campaign design stage's plug point)
+#
+# Every strategy shares one signature:
+# ``(parameter_values, taint, deps, program_volume) -> DesignDecision``.
+# Strategies ignoring the analysis artifacts still accept them so user
+# strategies can consume as much white-box knowledge as they want.
+
+
+@register_design(
+    "reduced",
+    help="taint-informed reductions: pruning, collapsing, additive sweeps",
+)
+def reduced_design(
+    parameter_values: Mapping[str, Sequence[float]],
+    taint: TaintReport,
+    deps: ProgramDependencies,
+    program_volume: Volume,
+) -> DesignDecision:
+    """The paper's A1/A2 design (the default)."""
+    return design_experiments(parameter_values, taint, deps, program_volume)
+
+
+@register_design(
+    "full-factorial", help="all value combinations, no reductions"
+)
+def full_factorial_design(
+    parameter_values: Mapping[str, Sequence[float]],
+    taint: TaintReport,
+    deps: ProgramDependencies,
+    program_volume: Volume,
+) -> DesignDecision:
+    """The naive all-combinations baseline."""
+    configs = full_factorial(parameter_values)
+    return DesignDecision(
+        configurations=configs,
+        kept_parameters=tuple(parameter_values),
+        strategy="full-factorial",
+        naive_size=len(configs),
+    )
+
+
+@register_design(
+    "one-at-a-time", help="single-parameter sweeps around the baseline"
+)
+def one_at_a_time_design(
+    parameter_values: Mapping[str, Sequence[float]],
+    taint: TaintReport,
+    deps: ProgramDependencies,
+    program_volume: Volume,
+) -> DesignDecision:
+    """Unconditional one-at-a-time sweeps (sound when dependencies are
+    additive-only; the ``reduced`` strategy checks that precondition)."""
+    naive = 1
+    for values in parameter_values.values():
+        naive *= max(1, len(values))
+    configs = one_at_a_time(parameter_values)
+    return DesignDecision(
+        configurations=configs,
+        kept_parameters=tuple(parameter_values),
+        strategy="one-at-a-time",
+        naive_size=naive,
     )

@@ -13,6 +13,12 @@ Orchestrates the four stages the paper improves with taint information:
 
 Each stage is a separate method so benchmarks and examples can run any
 prefix; :meth:`PerfTaintPipeline.run` chains them all.
+
+Since the Campaign API redesign this class is a thin wrapper: the stage
+*computations* live in :mod:`repro.core.stages` (shared with
+:class:`~repro.core.stages.Campaign`, which adds artifact persistence and
+resume), and :meth:`run` simply executes a workspace-less campaign — the
+two entry points are bit-identical by construction.
 """
 
 from __future__ import annotations
@@ -25,35 +31,32 @@ import math
 from ..interp import DEFAULT_MEASUREMENT_ENGINE
 from ..libdb.database import LibraryDatabase
 from ..libdb.mpi_models import MPI_DATABASE
-from ..measure.experiment import (
-    ConfigKey,
-    ExperimentRunner,
-    Measurements,
-    Workload,
-)
-from ..measure.parallel import ParallelExperimentRunner
-from ..measure.instrumentation import (
-    InstrumentationMode,
-    InstrumentationPlan,
-    default_filter_plan,
-    full_plan,
-    none_plan,
-    taint_filter_plan,
-)
+from ..measure.experiment import ConfigKey, Measurements, Workload
+from ..measure.instrumentation import InstrumentationMode, InstrumentationPlan
 from ..measure.noise import GaussianNoise, NoiseModel
 from ..measure.profiler import ProfileResult
 from ..modeling.modeler import Modeler
 from ..mpisim.contention import ContentionModel, NoContention
-from ..staticanalysis.prune import StaticReport, analyze_program
-from ..taint.engine import TaintInterpreter
+from ..staticanalysis.prune import StaticReport
 from ..taint.policy import FULL_POLICY, PropagationPolicy
 from ..taint.report import TaintReport
-from ..volume.depclass import ProgramDependencies, classify_program
-from ..volume.loopnest import VolumeReport, compute_volumes
-from .classify import Classification, classify_functions
+from ..volume.depclass import ProgramDependencies
+from ..volume.loopnest import VolumeReport
+from .classify import Classification
 from .experiment_design import DesignDecision, design_experiments
-from .hybrid import HybridModeler, ModelComparison
-from .validation import ContentionFinding, detect_contention
+from .hybrid import ModelComparison
+from .stages import (
+    Campaign,
+    run_classify_stage,
+    run_measure_stage,
+    run_model_stage,
+    run_plan_stage,
+    run_static_stage,
+    run_taint_stage,
+    run_validate_stage,
+    run_volumes_stage,
+)
+from .validation import ContentionFinding
 
 
 @dataclass
@@ -99,31 +102,31 @@ class PerfTaintPipeline:
     #: extends its per-node hooks — regardless of this choice.
     engine: str = DEFAULT_MEASUREMENT_ENGINE
 
+    def __post_init__(self) -> None:
+        self._program = None
+
+    def program(self):
+        """The workload's program, built once per pipeline.
+
+        Workload implementations may or may not memoize their own
+        ``program()``; the pipeline must not depend on that.
+        """
+        if self._program is None:
+            self._program = self.workload.program()
+        return self._program
+
     # ------------------------------------------------------------------
     # stage 1: analysis
 
     def analyze_static(self) -> StaticReport:
         """Compile-time phase (paper 5.1)."""
-        return analyze_program(
-            self.workload.program(), self.library.is_relevant
-        )
+        return run_static_stage(self.program(), self.library)
 
     def analyze_taint(self) -> TaintReport:
         """Dynamic taint run on the workload's representative config."""
-        program = self.workload.program()
-        config = self.workload.taint_config()
-        setup = self.workload.setup(config)
-        engine = TaintInterpreter(
-            program,
-            runtime=setup.runtime,
-            config=setup.exec_config,
-            policy=self.policy,
-            library_taint=self.library,
+        return run_taint_stage(
+            self.workload, self.program(), self.policy, self.library
         )
-        result = engine.analyze(
-            setup.args, self.workload.sources(), entry=setup.entry
-        )
-        return result.report
 
     def analyze(
         self,
@@ -131,11 +134,8 @@ class PerfTaintPipeline:
         """Run the full analysis stage."""
         static = self.analyze_static()
         taint = self.analyze_taint()
-        volumes = compute_volumes(self.workload.program(), taint)
-        deps = classify_program(volumes.inclusive, volumes.program)
-        classification = classify_functions(
-            self.workload.program(), static, taint
-        )
+        volumes, deps = run_volumes_stage(self.program(), taint)
+        classification = run_classify_stage(self.program(), static, taint)
         return static, taint, volumes, deps, classification
 
     # ------------------------------------------------------------------
@@ -162,17 +162,12 @@ class PerfTaintPipeline:
         taint: TaintReport | None = None,
         static: StaticReport | None = None,
     ) -> InstrumentationPlan:
-        """Instrumentation plan for the requested mode."""
-        program = self.workload.program()
-        if mode is InstrumentationMode.FULL:
-            return full_plan(program)
-        if mode is InstrumentationMode.DEFAULT_FILTER:
-            return default_filter_plan(program)
-        if mode is InstrumentationMode.NONE:
-            return none_plan()
-        if taint is None:
-            raise ValueError("taint-filter plan requires a taint report")
-        return taint_filter_plan(program, taint, static)
+        """Instrumentation plan for the requested mode.
+
+        Raises :class:`~repro.errors.PipelineError` when the taint-filter
+        mode is requested without a taint report.
+        """
+        return run_plan_stage(mode, self.program(), taint, static)
 
     def measure(
         self,
@@ -185,29 +180,18 @@ class PerfTaintPipeline:
         configured; the plain serial runner otherwise.  Both produce
         bit-identical measurements.
         """
-        if self.n_jobs > 1 or self.cache_dir is not None:
-            runner = ParallelExperimentRunner(
-                workload=self.workload,
-                plan=plan,
-                noise=self.noise,
-                contention=self.contention,
-                repetitions=self.repetitions,
-                seed=self.seed,
-                n_jobs=self.n_jobs,
-                cache_dir=self.cache_dir,
-                engine=self.engine,
-            )
-            return runner.run(design)
-        runner = ExperimentRunner(
-            workload=self.workload,
-            plan=plan,
+        return run_measure_stage(
+            self.workload,
+            design,
+            plan,
             noise=self.noise,
             contention=self.contention,
             repetitions=self.repetitions,
             seed=self.seed,
+            n_jobs=self.n_jobs,
+            cache_dir=self.cache_dir,
             engine=self.engine,
         )
-        return runner.run(design)
 
     # ------------------------------------------------------------------
     # stage 4: modeling and validation
@@ -221,11 +205,11 @@ class PerfTaintPipeline:
         cov_threshold: float | None = 0.1,
     ) -> dict[str, ModelComparison]:
         """Hybrid model generation (paper 4.5)."""
-        hybrid = HybridModeler(modeler=self.modeler)
-        return hybrid.model_all(
+        return run_model_stage(
             measurements,
             taint,
             volumes,
+            modeler=self.modeler,
             compare_black_box=compare_black_box,
             cov_threshold=cov_threshold,
         )
@@ -242,12 +226,40 @@ class PerfTaintPipeline:
         present (the hybrid model already excludes refuted parameters);
         a finding means the measurements contradict the code.
         """
-        candidate_models = {
-            fn: (cmp.black_box or cmp.hybrid) for fn, cmp in models.items()
-        }
-        return detect_contention(measurements, candidate_models, taint)
+        return run_validate_stage(measurements, models, taint)
 
     # ------------------------------------------------------------------
+
+    def campaign(
+        self,
+        parameter_values: Mapping[str, Sequence[float]],
+        mode: InstrumentationMode = InstrumentationMode.TAINT_FILTER,
+        compare_black_box: bool = False,
+        cov_threshold: float | None = 0.1,
+    ) -> Campaign:
+        """The equivalent :class:`Campaign` of one :meth:`run` call."""
+        campaign = Campaign(
+            workload=self.workload,
+            parameter_values=parameter_values,
+            mode=mode,
+            library=self.library,
+            policy=self.policy,
+            noise=self.noise,
+            contention=self.contention,
+            modeler=self.modeler,
+            repetitions=self.repetitions,
+            seed=self.seed,
+            n_jobs=self.n_jobs,
+            cache_dir=self.cache_dir,
+            engine=self.engine,
+            compare_black_box=compare_black_box,
+            cov_threshold=cov_threshold,
+        )
+        # Share the pipeline's memoized program: stage methods and run()
+        # must build the workload program once per pipeline, not once per
+        # entry point.
+        campaign._program = self.program()
+        return campaign
 
     def run(
         self,
@@ -256,32 +268,17 @@ class PerfTaintPipeline:
         compare_black_box: bool = False,
         cov_threshold: float | None = 0.1,
     ) -> PerfTaintResult:
-        """Full pipeline: analyze, design, measure, model, validate."""
-        static, taint, volumes, deps, classification = self.analyze()
-        design = self.design(parameter_values, taint, deps, volumes)
-        plan = self.plan_for(mode, taint, static)
-        measurements, profiles = self.measure(design.configurations, plan)
-        models = self.model(
-            measurements,
-            taint,
-            volumes,
+        """Full pipeline: analyze, design, measure, model, validate.
+
+        Equivalent to running the campaign stage DAG without a workspace
+        (and verified to be bit-identical to it).
+        """
+        return self.campaign(
+            parameter_values,
+            mode=mode,
             compare_black_box=compare_black_box,
             cov_threshold=cov_threshold,
-        )
-        findings = self.validate(measurements, models, taint)
-        return PerfTaintResult(
-            static=static,
-            taint=taint,
-            volumes=volumes,
-            dependencies=deps,
-            classification=classification,
-            design=design,
-            plan=plan,
-            measurements=measurements,
-            profiles=profiles,
-            models=models,
-            contention_findings=findings,
-        )
+        ).run()
 
 
 def core_hours(

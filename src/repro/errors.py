@@ -92,6 +92,42 @@ class RecursionUnsupportedError(TaintError):
     """
 
 
+class RegistryError(ReproError, ValueError):
+    """A component-registry lookup failed (unknown name, unnameable
+    factory).  Subclasses :class:`ValueError` so pre-registry callers that
+    guarded name lookups with ``except ValueError`` keep working."""
+
+
+class PipelineError(ReproError):
+    """A pipeline/campaign stage cannot run with the inputs it was given.
+
+    Names the stage and, when applicable, the missing upstream artifact —
+    both as message text and as attributes for programmatic handling.
+    """
+
+    def __init__(
+        self,
+        stage: str,
+        message: str,
+        missing_artifact: str | None = None,
+    ) -> None:
+        self.stage = stage
+        self.missing_artifact = missing_artifact
+        detail = message
+        if missing_artifact is not None:
+            detail = f"{message} (missing artifact: '{missing_artifact}')"
+        super().__init__(f"stage '{stage}': {detail}")
+
+
+class CampaignSpecError(ReproError):
+    """A declarative campaign spec is malformed (unknown keys, bad types,
+    unregistered component names)."""
+
+
+class ArtifactError(ReproError):
+    """A persisted stage artifact could not be decoded."""
+
+
 class MeasurementError(ReproError):
     """Failure in the measurement / instrumentation substrate."""
 

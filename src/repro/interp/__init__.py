@@ -14,6 +14,7 @@ either class directly — callers then inherit new engines (and the
 "which engine for which job" defaults) automatically.
 """
 
+from ..registry import ENGINE_REGISTRY, register_engine
 from .compile import CompiledEngine, CompiledFunction
 from .config import DEFAULT_CONFIG, ExecConfig
 from .events import CostKind, ExecutionListener, MultiListener, NullListener
@@ -32,8 +33,18 @@ from .values import Array, Scalar, Value, truthy
 ENGINE_TREE = "tree"
 #: The closure-compiling engine (measurement hot path).
 ENGINE_COMPILED = "compiled"
-#: All valid engine identifiers, in preference order for measurement.
+#: Built-in engine identifiers, in preference order for measurement.
+#: The full (user-extensible) set lives in the engine registry.
 ENGINES: tuple[str, ...] = (ENGINE_COMPILED, ENGINE_TREE)
+
+register_engine(
+    ENGINE_COMPILED,
+    help="IR-to-closure compiler (measurement hot path)",
+)(CompiledEngine)
+register_engine(
+    ENGINE_TREE,
+    help="tree-walking interpreter (subclassable per-node hooks)",
+)(Interpreter)
 
 #: Engine used by the measurement layer unless a caller overrides it.
 #: Taint runs always use the tree-walker (the taint engine subclasses
@@ -50,23 +61,16 @@ def make_engine(
 ) -> "Interpreter | CompiledEngine":
     """Construct an execution engine for *program*.
 
-    *engine* is ``"tree"`` (the subclassable tree-walker, the default for
-    direct use) or ``"compiled"`` (the closure compiler the measurement
-    layer uses).  Both produce bit-identical
-    :class:`~repro.interp.metrics.RunResult` objects, events and errors;
-    they differ only in dispatch cost.
+    *engine* names an entry of the engine registry: ``"tree"`` (the
+    subclassable tree-walker, the default for direct use), ``"compiled"``
+    (the closure compiler the measurement layer uses), or any engine
+    registered by user code via
+    :func:`repro.registry.register_engine`.  The built-ins produce
+    bit-identical :class:`~repro.interp.metrics.RunResult` objects, events
+    and errors; they differ only in dispatch cost.
     """
-    if engine == ENGINE_TREE:
-        return Interpreter(
-            program, runtime=runtime, config=config, listener=listener
-        )
-    if engine == ENGINE_COMPILED:
-        return CompiledEngine(
-            program, runtime=runtime, config=config, listener=listener
-        )
-    raise ValueError(
-        f"unknown engine {engine!r} (valid engines: {', '.join(ENGINES)})"
-    )
+    factory = ENGINE_REGISTRY.get(engine)
+    return factory(program, runtime=runtime, config=config, listener=listener)
 
 
 __all__ = [

@@ -71,6 +71,29 @@ class LibraryDatabase:
         """Entry for routine *name*, or None."""
         return self.entries.get(name)
 
+    def fingerprint(self) -> str:
+        """Deterministic content fingerprint of the registered entries.
+
+        Registration-order and process independent (set contents are
+        serialized sorted — ``repr(frozenset)`` order varies with hash
+        randomization), so equal databases fingerprint identically across
+        invocations.  Participates in campaign stage fingerprints (static
+        and taint analyses depend on the database's relevance and source
+        semantics).
+        """
+        return repr(
+            [
+                (
+                    name,
+                    sorted(entry.implicit_params),
+                    sorted(entry.source_params),
+                    list(entry.count_args),
+                    entry.performance_relevant,
+                )
+                for name, entry in sorted(self.entries.items())
+            ]
+        )
+
     def relevant_routines(self) -> frozenset[str]:
         """Names of performance-relevant routines."""
         return frozenset(

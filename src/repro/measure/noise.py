@@ -24,6 +24,8 @@ from typing import Protocol
 
 import numpy as np
 
+from ..registry import register_noise
+
 
 class NoiseModel(Protocol):
     """Perturbs a true simulated time into a measured time."""
@@ -32,6 +34,7 @@ class NoiseModel(Protocol):
         """One noisy measurement of *base*."""
 
 
+@register_noise("none")
 @dataclass(frozen=True)
 class NoNoise:
     """Ideal measurement (used to establish ground truth)."""
@@ -40,6 +43,7 @@ class NoNoise:
         return base
 
 
+@register_noise("gaussian")
 @dataclass(frozen=True)
 class GaussianNoise:
     """Relative + absolute-floor Gaussian noise (default).

@@ -68,6 +68,29 @@ class WorkloadSpec:
         return self.factory(*self.args, **dict(self.kwargs))
 
 
+def workload_repr(workload: Workload) -> str:
+    """Fingerprint of workload identity beyond the program content.
+
+    Non-modeled defaults, the network model, and the execution config all
+    change what ``setup()`` derives from the same configuration point, so
+    they must participate in cache keys — both the per-configuration run
+    cache here and the stage-artifact fingerprints of
+    :mod:`repro.core.stages`.
+    """
+    parts = [
+        f"name={getattr(workload, 'name', type(workload).__name__)}",
+        f"parameters={tuple(workload.parameters)}",
+    ]
+    defaults = getattr(workload, "defaults", None)
+    if defaults is not None:
+        parts.append(f"defaults={sorted(defaults.items())}")
+    for attr in ("network", "exec_config"):
+        value = getattr(workload, attr, None)
+        if value is not None:
+            parts.append(f"{attr}={value!r}")
+    return ";".join(parts)
+
+
 def _identity_workload(workload: Workload) -> Workload:
     return workload
 
@@ -189,25 +212,9 @@ class ParallelExperimentRunner:
     # -- cache keys --------------------------------------------------------
 
     def _workload_repr(self) -> str:
-        """Fingerprint of workload identity beyond the program content.
-
-        Non-modeled defaults, the network model, and the execution config
-        all change what ``setup()`` derives from the same configuration
-        point, so they must participate in cache keys.
-        """
-        w = self.workload
-        parts = [
-            f"name={getattr(w, 'name', type(w).__name__)}",
-            f"parameters={tuple(w.parameters)}",
-        ]
-        defaults = getattr(w, "defaults", None)
-        if defaults is not None:
-            parts.append(f"defaults={sorted(defaults.items())}")
-        for attr in ("network", "exec_config"):
-            value = getattr(w, attr, None)
-            if value is not None:
-                parts.append(f"{attr}={value!r}")
-        return ";".join(parts)
+        """See :func:`workload_repr` (module-level for reuse by the
+        campaign stage fingerprints)."""
+        return workload_repr(self.workload)
 
     def _fingerprint(
         self,

@@ -30,6 +30,8 @@ import math
 from dataclasses import dataclass
 from typing import Protocol
 
+from ..registry import register_contention
+
 
 class ContentionModel(Protocol):
     """Memory-cost multiplier as a function of ranks per node."""
@@ -38,6 +40,7 @@ class ContentionModel(Protocol):
         """Slowdown multiplier for memory-bound cost (>= 1)."""
 
 
+@register_contention("none")
 @dataclass(frozen=True)
 class NoContention:
     """Ideal memory system: no co-location penalty."""
@@ -46,6 +49,7 @@ class NoContention:
         return 1.0
 
 
+@register_contention("logquad")
 @dataclass(frozen=True)
 class LogQuadraticContention:
     """``1 + beta * log2(r)^2`` slowdown (default; matches paper's fits)."""
@@ -57,6 +61,7 @@ class LogQuadraticContention:
         return 1.0 + self.beta * math.log2(r) ** 2
 
 
+@register_contention("bandwidth")
 @dataclass(frozen=True)
 class BandwidthSaturationContention:
     """Bandwidth sharing: free below ``saturation_ranks``, linear beyond."""

@@ -193,3 +193,120 @@ class TestCLISweepAndParallel:
             assert exc.value.code == 2  # argparse usage error
         err = capsys.readouterr().err
         assert "must be >= 1" in err
+
+
+class TestCLIRegistryCommands:
+    def test_apps_lists_registered_workloads(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        for name in ("lulesh", "milc", "synthetic"):
+            assert name in out
+
+    def test_stages_lists_the_graph(self, capsys):
+        assert main(["stages"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "static", "taint", "volumes", "classify", "design",
+            "plan", "measure", "model", "validate",
+        ):
+            assert name in out
+        assert "measure" in out and "design" in out
+
+    def test_unknown_app_shows_user_registered_apps(self, capsys):
+        """The app list is the live registry, not a frozen literal."""
+        from repro.registry import WORKLOAD_REGISTRY, register_workload
+        from repro.apps.synthetic import make_scaling_workload
+
+        register_workload("userapp-test")(make_scaling_workload)
+        try:
+            with pytest.raises(SystemExit) as exc:
+                main(["model", "badname", "--values", "p=1,2"])
+            message = str(exc.value)
+            assert "unknown app 'badname'" in message
+            assert "userapp-test" in message
+            assert "lulesh" in message
+            assert "\n" not in message
+        finally:
+            WORKLOAD_REGISTRY._entries.pop("userapp-test", None)
+
+    def test_unsupported_app_one_line_error_not_traceback(self):
+        """Commands whose hard-coded inputs an app lacks must exit with a
+        one-line error, not a raw KeyError."""
+        for argv in (
+            ["contention", "synthetic", "--r", "2,4"],
+            ["segments", "synthetic", "--p", "4,8"],
+            ["model", "synthetic", "--values", "p=2,4"],  # missing s
+            ["sweep", "synthetic", "--values", "p=2,4"],
+        ):
+            with pytest.raises(SystemExit) as exc:
+                main(argv)
+            message = str(exc.value)
+            assert "does not support this command" in message
+            assert "\n" not in message
+
+    def test_user_registered_app_is_runnable(self, capsys):
+        from repro.registry import WORKLOAD_REGISTRY, register_workload
+        from repro.apps.synthetic import make_scaling_workload
+
+        register_workload("userapp-test")(make_scaling_workload)
+        try:
+            rc = main(
+                [
+                    "sweep", "userapp-test",
+                    "--values", "p=2", "s=3",
+                    "--repetitions", "2",
+                ]
+            )
+            assert rc == 0
+            assert "swept 1 configurations" in capsys.readouterr().out
+        finally:
+            WORKLOAD_REGISTRY._entries.pop("userapp-test", None)
+
+
+class TestCLICampaignRun:
+    SPEC = """
+app = "synthetic"
+repetitions = 2
+seed = 7
+
+[parameters]
+p = [2, 4]
+s = [3, 5]
+"""
+
+    def _spec_file(self, tmp_path):
+        spec = tmp_path / "campaign.toml"
+        spec.write_text(self.SPEC)
+        return spec
+
+    def test_run_and_resume(self, capsys, tmp_path):
+        spec = self._spec_file(tmp_path)
+        argv = ["run", str(spec), "--workspace", str(tmp_path / "ws")]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "9 computed, 0 resumed" in out
+        assert "hybrid model" in out
+
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 computed, 9 resumed" in out
+
+    def test_run_without_workspace(self, capsys, tmp_path):
+        spec = self._spec_file(tmp_path)
+        assert main(["run", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "9 computed" in out
+        assert "workspace:" not in out
+
+    def test_run_missing_spec_one_line_error(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", str(tmp_path / "nope.toml")])
+        assert "cannot read spec file" in str(exc.value)
+
+    def test_run_bad_spec_one_line_error(self, tmp_path):
+        spec = tmp_path / "bad.toml"
+        spec.write_text('app = "synthetic"\nbogus_key = 1\n'
+                        "[parameters]\np = [2]\n")
+        with pytest.raises(SystemExit) as exc:
+            main(["run", str(spec)])
+        assert "bogus_key" in str(exc.value)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.apps.synthetic import SyntheticWorkload, build_additive_example
 from repro.core.pipeline import PerfTaintPipeline, core_hours
+from repro.errors import PipelineError, ReproError
 from repro.measure import APP_KEY, InstrumentationMode
 from repro.measure.noise import NoNoise
 from repro.volume import classify_program, compute_volumes
@@ -43,8 +44,31 @@ class TestStages:
         assert len(default) <= len(full)
 
     def test_taint_filter_without_report_raises(self, pipeline):
-        with pytest.raises(ValueError):
+        with pytest.raises(PipelineError) as err:
             pipeline.plan_for(InstrumentationMode.TAINT_FILTER)
+        assert err.value.stage == "plan"
+        assert err.value.missing_artifact == "taint"
+        assert "taint" in str(err.value)
+        # Typed errors stay catchable at the library boundary.
+        assert isinstance(err.value, ReproError)
+
+    def test_program_memoized_per_pipeline(self, pipeline):
+        builds = []
+
+        def counting():
+            builds.append(1)
+            return build_additive_example()
+
+        # A workload without its own memoization: every program() call
+        # rebuilds.  The pipeline must hit it exactly once regardless of
+        # how many stages ask for the program.
+        pipeline.workload.program = counting
+        pipeline._program = None
+        pipeline.analyze_static()
+        pipeline.plan_for(InstrumentationMode.FULL)
+        pipeline.plan_for(InstrumentationMode.DEFAULT_FILTER)
+        assert pipeline.program() is pipeline.program()
+        assert len(builds) == 1
 
     def test_design_additive(self, pipeline):
         static, taint, volumes, deps, _ = pipeline.analyze()
