@@ -57,6 +57,11 @@ def test_ablation_contention_models(benchmark):
     report(
         "ablation_contention_models",
         format_table(("contention law", "functions flagged"), rows),
+        data={
+            "functions_flagged": {
+                name: len(findings) for name, findings in results.items()
+            }
+        },
     )
 
     assert len(results["log-quadratic"]) >= 5

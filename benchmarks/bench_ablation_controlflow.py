@@ -42,7 +42,15 @@ def test_ablation_controlflow(benchmark, lulesh_workload):
         ("function", "loop", "full policy", "lost without control flow"),
         rows,
     )
-    report("ablation_controlflow", text)
+    report(
+        "ablation_controlflow",
+        text,
+        data={
+            "loops_losing_deps_without_controlflow": missing_total,
+            "full_policy_relevant_loops": len(full.relevant_loops()),
+            "dataflow_only_relevant_loops": len(dataflow.relevant_loops()),
+        },
+    )
 
     # The regElemSize pattern loses its size dependence (paper 5.2).
     full_params = full.loop_params("CalcMonotonicQRegionForElems", 1)

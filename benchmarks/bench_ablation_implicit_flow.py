@@ -80,6 +80,17 @@ def test_ablation_implicit_flow(benchmark, lulesh_workload):
     report(
         "ablation_implicit_flow",
         format_table(("policy", "loop parameters found"), rows),
+        data={
+            "loop_params_by_policy": {
+                name: sorted(params) for name, params in per_policy.items()
+            },
+            "lulesh_relevant_loops_explicit": len(
+                explicit_taint.relevant_loops()
+            ),
+            "lulesh_relevant_loops_implicit": len(
+                implicit_taint.relevant_loops()
+            ),
+        },
     )
 
     assert per_policy["data-flow only"] == frozenset({"n"})

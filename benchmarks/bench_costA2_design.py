@@ -74,6 +74,20 @@ def test_costA2_design_reduction(benchmark, lulesh_workload):
     report(
         "costA2_design",
         format_table(("case", "naive", "reduced", "how"), rows),
+        data={
+            "additive": {"naive": additive.naive_size, "reduced": additive.size},
+            "multiplicative": {"naive": mult.naive_size, "reduced": mult.size},
+            "pruned": {
+                "naive": pruned.naive_size,
+                "reduced": pruned.size,
+                "pruned_parameters": list(pruned.pruned_parameters),
+            },
+            "lulesh": {
+                "naive": lulesh.naive_size,
+                "reduced": lulesh.size,
+                "collapsed_parameters": list(lulesh.collapsed_parameters),
+            },
+        },
     )
 
     # The paper's schematic: additive -> 9 experiments instead of 25.

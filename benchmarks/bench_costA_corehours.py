@@ -81,6 +81,15 @@ def test_costA_corehours(benchmark, lulesh_workload, milc_workload):
             ),
             rows,
         ),
+        data={
+            app: {
+                "full_core_hours": full_ch,
+                "taint_core_hours": taint_ch,
+                "saved_fraction": savings[app],
+                "analysis_wall_seconds": wall,
+            }
+            for app, (full_ch, taint_ch, wall) in results.items()
+        },
     )
 
     # Shape: LULESH saves the overwhelming majority; MILC saves a more

@@ -97,7 +97,19 @@ def test_engine_speedup():
         f"dispatch speedup: {speedup:.2f}x (bar: {min_speedup:.1f}x)",
         "results bit-identical: yes",
     ]
-    report("engine_speedup", "\n".join(lines))
+    report(
+        "engine_speedup",
+        "\n".join(lines),
+        data={
+            "n": n,
+            "steps": statements,
+            "tree_seconds": tree_time,
+            "compiled_seconds": compiled_time,
+            "speedup": speedup,
+            "min_speedup_bar": min_speedup,
+            "results_identical": True,
+        },
+    )
 
     assert speedup >= min_speedup, (
         f"compiled engine speedup {speedup:.2f}x below the "

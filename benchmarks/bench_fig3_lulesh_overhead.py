@@ -64,6 +64,10 @@ def test_fig3_lulesh_overhead(benchmark, lulesh_workload, lulesh_analysis):
             ("ranks", "size", "taint-filter", "default-filter", "full"),
             rows,
         ),
+        data={
+            "max_overhead_ratio": {m: max(v) for m, v in series.items()},
+            "min_overhead_ratio": {m: min(v) for m, v in series.items()},
+        },
     )
 
     # Paper shapes: taint filter within a few percent everywhere; full

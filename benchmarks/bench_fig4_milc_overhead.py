@@ -77,6 +77,10 @@ def test_fig4_milc_overhead(benchmark, milc_workload, milc_analysis):
         format_table(
             ("ranks", "size", "taint-filter", "default-filter", "full"), rows
         ),
+        data={
+            "geomean_overhead_ratio": gm,
+            "largest_size_taint_overhead_ratio": large_taint,
+        },
     )
 
     # Paper shapes: taint filter cheap (geometric mean 1.6% in the paper),

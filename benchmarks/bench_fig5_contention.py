@@ -63,11 +63,18 @@ def test_fig5_contention(benchmark):
             + ((models[fn].black_box or models[fn].hybrid).format(),)
         )
     header = ("function",) + tuple(f"r={r}" for r in R_VALUES) + ("model",)
+    flagged = {f.function for f in findings}
     lines = [format_table(header, rows), "", "Contention findings:"]
     lines += [f"  ! {f}" for f in findings]
-    report("fig5_contention", "\n".join(lines))
-
-    flagged = {f.function for f in findings}
+    report(
+        "fig5_contention",
+        "\n".join(lines),
+        data={
+            "findings": len(findings),
+            "flagged_functions": sorted(flagged),
+            "r_values": list(R_VALUES),
+        },
+    )
     # Figure 5's kernels are flagged, with increasing log-family models.
     assert "CalcHourglassControlForElems" in flagged
     assert APP_KEY in flagged

@@ -112,7 +112,19 @@ def test_parallel_scaling(tmp_path, bench_jobs):
         f"({warm.last_stats.cached} from cache, 0 executed, "
         f"{cold_time / max(warm_time, 1e-9):.0f}x faster)",
     ]
-    report("parallel_scaling", "\n".join(lines))
+    report(
+        "parallel_scaling",
+        "\n".join(lines),
+        data={
+            "configurations": len(design),
+            "host_cores": os.cpu_count(),
+            "seconds_by_jobs": {str(j): timings[j] for j in job_counts},
+            "speedup_at_top_jobs": timings[1] / timings[job_counts[-1]],
+            "cache_cold_seconds": cold_time,
+            "cache_warm_seconds": warm_time,
+            "bit_identical": len(set(digests.values())) == 1,
+        },
+    )
 
     # Process-level parallelism only helps when the host has the cores;
     # the speedup bar applies where the top worker count can actually run.

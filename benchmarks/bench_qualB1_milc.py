@@ -68,7 +68,18 @@ def test_qualB1_milc_correction_rate(benchmark, milc_workload):
         f"({100 * corrected_fraction:.0f}% of parametric models; "
         "paper: 77%)",
     ]
-    report("qualB1_milc", "\n".join(lines))
+    report(
+        "qualB1_milc",
+        "\n".join(lines),
+        data={
+            "reliable_functions": len(reliable),
+            "taint_constant_functions": len(constant_truth),
+            "black_box_parametric_models": len(bb_parametric),
+            "wrong_parametric_models": len(bb_wrong),
+            "hybrid_corrected": len(hybrid_fixed),
+            "corrected_fraction": corrected_fraction,
+        },
+    )
 
     # Shape: a majority of the black-box parametric models are on
     # functions taint proves constant, and the prior fixes every one.

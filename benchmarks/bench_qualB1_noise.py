@@ -75,7 +75,17 @@ def test_qualB1_noise_resilience(benchmark, lulesh_workload):
         format_table(("function", "black-box model", "hybrid model"),
                      wrapper_rows),
     ]
-    report("qualB1_noise", "\n".join(lines))
+    report(
+        "qualB1_noise",
+        "\n".join(lines),
+        data={
+            "reliable_functions": len(reliable),
+            "black_box_parametric_models": len(bb_parametric),
+            "taint_constant_functions": len(constant_truth),
+            "false_dependencies_corrected": len(corrected),
+            "rank_wrappers_corrected": len(wrapper_rows),
+        },
+    )
 
     # Shape assertions: noise earns several spurious black-box models on
     # constant functions, and the prior corrects every one of them.

@@ -58,7 +58,15 @@ def test_qualB2_intrusion(benchmark, lulesh_workload):
         f"default filter instruments {FN}: "
         f"{default_filter_plan(prog).is_instrumented(FN)} (paper: False)",
     ]
-    report("qualB2_intrusion", "\n".join(lines))
+    report(
+        "qualB2_intrusion",
+        "\n".join(lines),
+        data={
+            "app_time_ratio_full_over_filtered": app_ratio,
+            "filtered_model": filt_model.format(),
+            "full_model": full_model.format(),
+        },
+    )
 
     # The filtered model keeps a multiplicative (p, size) product term.
     assert any(len(t.uses()) == 2 for t in filt_model.terms), filt_model

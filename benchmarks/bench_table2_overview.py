@@ -60,6 +60,12 @@ def test_table2_overview(benchmark, lulesh_workload, milc_workload):
     report(
         "table2_overview",
         format_table(("app", "metric", "paper", "measured"), table_rows),
+        data={
+            app: dict(
+                cls.table2_row(), constant_fraction=cls.constant_fraction
+            )
+            for app, cls in rows_by_app.items()
+        },
     )
 
     lulesh, milc = rows_by_app["LULESH"], rows_by_app["MILC"]

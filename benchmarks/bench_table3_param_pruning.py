@@ -43,6 +43,10 @@ def test_table3_param_pruning(
     report(
         "table3_param_pruning",
         format_table(("app", "parameter", "functions", "loops"), rows),
+        data={
+            "LULESH": {p: dict(c) for p, c in lulesh_counts.items()},
+            "MILC": {p: dict(c) for p, c in milc_counts.items()},
+        },
     )
 
     # LULESH shape: p touches exactly 2 regions; size has the broadest

@@ -49,7 +49,16 @@ def test_validC2_segmented_behavior(benchmark, milc_workload):
             f"{sorted(f.params)}: {f.boundary()}"
         )
     lines.append(f"Split domains: low={len(low)} high={len(high)} findings")
-    report("validC2_segments", "\n".join(lines))
+    report(
+        "validC2_segments",
+        "\n".join(lines),
+        data={
+            "full_sweep_findings": len(whole),
+            "low_domain_findings": len(low),
+            "high_domain_findings": len(high),
+            "segmented_functions": sorted({f.function for f in whole}),
+        },
+    )
 
     gather = [f for f in whole if f.function == "do_gather"]
     assert len(gather) == 1

@@ -2,7 +2,11 @@
 
 Every benchmark regenerates one table or figure of the paper and prints the
 corresponding rows/series (run with ``pytest benchmarks/ --benchmark-only
--s`` to see them; results are also written to ``benchmarks/out/``).
+-s`` to see them).  Results are persisted twice under ``benchmarks/out/``:
+a human-readable ``<name>.txt`` and a machine-readable
+``BENCH_<name>.json`` carrying the benchmark's key metrics, so the repo's
+performance trajectory can be tracked run over run (compare the JSON
+files across commits or feed them to a dashboard).
 
 Benchmarks opt into the parallel execution engine through the
 ``bench_jobs`` fixture (``REPRO_BENCH_JOBS`` overrides the top worker
@@ -11,6 +15,7 @@ count used by ``bench_parallel_scaling.py``).
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -37,12 +42,22 @@ def bench_jobs() -> int:
     return 4
 
 
-def report(name: str, text: str) -> None:
-    """Print a result block and persist it under benchmarks/out/."""
+def report(name: str, text: str, data: "dict | None" = None) -> None:
+    """Print a result block and persist it under benchmarks/out/.
+
+    *text* is the human-readable table/series; *data* is the benchmark's
+    machine-readable metrics, written to ``BENCH_<name>.json`` (always
+    emitted — an empty metrics object when a benchmark passes none, so
+    every ``bench_*`` run leaves a trackable artifact).
+    """
     banner = f"\n===== {name} =====\n{text}\n"
     print(banner)
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    payload = {"benchmark": name, "metrics": data or {}}
+    (OUT_DIR / f"BENCH_{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+    )
 
 
 @pytest.fixture(scope="session")

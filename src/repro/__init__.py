@@ -46,7 +46,7 @@ from .core import (
 from .errors import ReproError
 from .measure import InstrumentationMode
 from .modeling import Model, Modeler, SearchPrior
-from .taint import TaintInterpreter, TaintReport
+from .taint import TaintEngine, TaintInterpreter, TaintReport
 
 __version__ = "1.0.0"
 
@@ -63,6 +63,7 @@ __all__ = [
     "ReproError",
     "SearchPrior",
     "SyntheticWorkload",
+    "TaintEngine",
     "TaintInterpreter",
     "TaintReport",
     "detect_contention",

@@ -46,6 +46,7 @@ from .errors import (
     RegistryError,
     ReproError,
 )
+from .interp import AnalysisDomain, make_engine
 from .registry import (
     CONTENTION_REGISTRY,
     DESIGN_REGISTRY,
@@ -61,10 +62,17 @@ from .registry import (
     register_noise,
     register_workload,
 )
+from .taint import (
+    PropagationPolicy,
+    TaintDomain,
+    TaintEngine,
+    TaintReport,
+)
 
 load_builtin_components()
 
 __all__ = [
+    "AnalysisDomain",
     "ArtifactError",
     "ArtifactStore",
     "CONTENTION_REGISTRY",
@@ -76,15 +84,20 @@ __all__ = [
     "PerfTaintPipeline",
     "PerfTaintResult",
     "PipelineError",
+    "PropagationPolicy",
     "Registry",
     "RegistryEntry",
     "RegistryError",
     "ReproError",
     "STAGES",
     "Stage",
+    "TaintDomain",
+    "TaintEngine",
+    "TaintReport",
     "WORKLOAD_REGISTRY",
     "artifact_fingerprint",
     "load_builtin_components",
+    "make_engine",
     "register_contention",
     "register_design",
     "register_engine",

@@ -3,6 +3,8 @@
 Commands mirror the pipeline stages on the registered workloads:
 
 * ``analyze <app>`` — static + taint analysis, Table 2/3 style report;
+* ``taint --app <app>`` — the taint stage alone, with a deterministic
+  report fingerprint for cross-engine comparison;
 * ``model <app> --values p=27,64 size=10,20`` — full pipeline with models;
 * ``run <spec.toml>`` — a declarative campaign with a persistent,
   resumable artifact workspace;
@@ -19,10 +21,12 @@ and ``synthetic``, plus anything user code registers via
 experiments and ``--cache-dir DIR`` to reuse already-measured
 configurations across invocations; results are bit-identical for every
 jobs count.  Measurement commands take ``--engine`` to pick a registered
-execution engine (default: ``compiled``, the IR-to-closure compiler; the
-taint stage always runs on the tree-walker) — the built-in engines are
-bit-identical too.  Everything prints plain text; the same functionality
-is available programmatically via :mod:`repro.api`.
+execution engine (default: ``compiled``, the IR-to-closure compiler);
+``taint``/``run``/``model`` take ``--taint-engine`` to pick the engine
+executing the dynamic taint stage (default ``compiled`` as well) — the
+built-in engines are bit-identical in both roles.  Everything prints
+plain text; the same functionality is available programmatically via
+:mod:`repro.api`.
 """
 
 from __future__ import annotations
@@ -38,7 +42,11 @@ from .core.report import render_summary, render_table2, render_table3
 from .core.stages import STAGES, Campaign
 from .core.validation import detect_segmented_behavior
 from .errors import ReproError
-from .interp import DEFAULT_MEASUREMENT_ENGINE
+from .interp import (
+    DEFAULT_MEASUREMENT_ENGINE,
+    DEFAULT_TAINT_ENGINE,
+    shadow_capable_engines,
+)
 from .libdb import MPI_DATABASE
 from .measure.instrumentation import InstrumentationMode
 from .measure.profiler import APP_KEY
@@ -151,6 +159,37 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_taint(args: argparse.Namespace) -> int:
+    from .core.artifacts import artifact_fingerprint, taint_report_to_dict
+
+    workload = _workload(args.app)
+    pipeline = PerfTaintPipeline(
+        workload=workload, taint_engine=args.taint_engine
+    )
+    taint = pipeline.analyze_taint()
+    print(f"taint analysis of '{args.app}' (engine: {args.taint_engine})")
+    print(f"  parameters:         {', '.join(taint.parameters) or '-'}")
+    print(f"  executed functions: {len(taint.executed_functions)}")
+    print(
+        f"  loop records:       {len(taint.loop_records)} "
+        f"({len(taint.relevant_loops())} parameter-dependent)"
+    )
+    print(f"  branch records:     {len(taint.branch_records)}")
+    print(f"  library records:    {len(taint.library_records)}")
+    # Content fingerprint of the canonical report payload: identical
+    # across engines by construction — compare `--taint-engine tree`
+    # against `--taint-engine compiled` to verify on any workload.
+    print(
+        "  report fingerprint: "
+        f"{artifact_fingerprint(taint_report_to_dict(taint))}"
+    )
+    if taint.warnings:
+        print("warnings:")
+        for w in taint.warnings:
+            print(f"  * {w}")
+    return 0
+
+
 def cmd_model(args: argparse.Namespace) -> int:
     values = _parse_values(args.values)
     workload = _workload(args.app, tuple(values))
@@ -164,6 +203,7 @@ def cmd_model(args: argparse.Namespace) -> int:
         n_jobs=args.jobs,
         cache_dir=args.cache_dir,
         engine=args.engine,
+        taint_engine=args.taint_engine,
     )
     result = pipeline.run(
         values,
@@ -178,6 +218,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     campaign = Campaign.from_toml(args.spec, workspace=args.workspace)
     if args.jobs is not None:
         campaign.n_jobs = args.jobs
+    if args.taint_engine is not None:
+        campaign.taint_engine = args.taint_engine
     started = time.perf_counter()
     result = campaign.run()
     elapsed = time.perf_counter() - started
@@ -312,9 +354,21 @@ def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
         "--engine",
         default=DEFAULT_MEASUREMENT_ENGINE,
         choices=ENGINE_REGISTRY.names(),
-        help="execution engine for the measurement stage (the taint "
-        "stage always uses the tree-walker); the built-in engines "
-        "produce bit-identical results",
+        help="execution engine for the measurement stage; the built-in "
+        "engines produce bit-identical results",
+    )
+
+
+def _add_taint_engine_arg(
+    parser: argparse.ArgumentParser, default: "str | None" = DEFAULT_TAINT_ENGINE
+) -> None:
+    parser.add_argument(
+        "--taint-engine",
+        default=default,
+        choices=shadow_capable_engines(),
+        help="execution engine for the dynamic taint stage (engines "
+        "declaring supports_taint); the built-in engines produce "
+        "bit-identical taint reports",
     )
 
 
@@ -338,6 +392,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("analyze", help="static + taint analysis report")
     _add_app_arg(p)
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "taint",
+        help="run the dynamic taint stage alone (prints a deterministic "
+        "report fingerprint for cross-engine comparison)",
+    )
+    p.add_argument(
+        "--app",
+        required=True,
+        help=f"one of: {', '.join(WORKLOAD_REGISTRY.names())}",
+    )
+    _add_taint_engine_arg(p)
+    p.set_defaults(func=cmd_taint)
 
     p = sub.add_parser("model", help="run the full modeling pipeline")
     _add_app_arg(p)
@@ -371,6 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run-cache directory (reruns skip measured configurations)",
     )
     _add_engine_arg(p)
+    _add_taint_engine_arg(p)
     p.set_defaults(func=cmd_model)
 
     p = sub.add_parser(
@@ -392,6 +460,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the spec's worker-process count",
     )
+    _add_taint_engine_arg(p, default=None)  # None: keep the spec's choice
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("apps", help="list registered workloads")

@@ -28,7 +28,7 @@ from typing import Mapping, Sequence
 
 import math
 
-from ..interp import DEFAULT_MEASUREMENT_ENGINE
+from ..interp import DEFAULT_MEASUREMENT_ENGINE, DEFAULT_TAINT_ENGINE
 from ..libdb.database import LibraryDatabase
 from ..libdb.mpi_models import MPI_DATABASE
 from ..measure.experiment import ConfigKey, Measurements, Workload
@@ -98,9 +98,12 @@ class PerfTaintPipeline:
     #: Run-cache directory; None disables caching.
     cache_dir: str | None = None
     #: Execution engine for the measurement stage ("compiled" | "tree").
-    #: The taint stage always runs on the tree-walker — the taint engine
-    #: extends its per-node hooks — regardless of this choice.
     engine: str = DEFAULT_MEASUREMENT_ENGINE
+    #: Execution engine for the taint stage.  Any registered engine whose
+    #: entry declares ``supports_taint``; the built-ins are bit-identical
+    #: (the compiled engine executes taint through the same pre-resolved
+    #: slots it uses for values).
+    taint_engine: str = DEFAULT_TAINT_ENGINE
 
     def __post_init__(self) -> None:
         self._program = None
@@ -125,7 +128,11 @@ class PerfTaintPipeline:
     def analyze_taint(self) -> TaintReport:
         """Dynamic taint run on the workload's representative config."""
         return run_taint_stage(
-            self.workload, self.program(), self.policy, self.library
+            self.workload,
+            self.program(),
+            self.policy,
+            self.library,
+            engine=self.taint_engine,
         )
 
     def analyze(
@@ -252,6 +259,7 @@ class PerfTaintPipeline:
             n_jobs=self.n_jobs,
             cache_dir=self.cache_dir,
             engine=self.engine,
+            taint_engine=self.taint_engine,
             compare_black_box=compare_black_box,
             cov_threshold=cov_threshold,
         )

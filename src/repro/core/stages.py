@@ -28,7 +28,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
 from ..errors import CampaignSpecError, PipelineError
-from ..interp import DEFAULT_MEASUREMENT_ENGINE
+from ..interp import (
+    DEFAULT_MEASUREMENT_ENGINE,
+    DEFAULT_TAINT_ENGINE,
+    shadow_capable_engines,
+    shadow_engine_identity,
+)
 from ..libdb.database import LibraryDatabase
 from ..libdb.mpi_models import MPI_DATABASE
 from ..measure.experiment import (
@@ -61,7 +66,7 @@ from ..registry import (
     load_builtin_components,
 )
 from ..staticanalysis.prune import StaticReport, analyze_program
-from ..taint.engine import TaintInterpreter
+from ..taint.engine import TaintEngine
 from ..taint.policy import FULL_POLICY, PropagationPolicy
 from ..taint.report import TaintReport
 from ..volume.depclass import ProgramDependencies, classify_program
@@ -87,18 +92,43 @@ def run_taint_stage(
     program,
     policy: PropagationPolicy,
     library: LibraryDatabase,
+    engine: str = DEFAULT_TAINT_ENGINE,
 ) -> TaintReport:
-    """Dynamic taint run on the workload's representative config."""
-    config = workload.taint_config()
-    setup = workload.setup(config)
-    engine = TaintInterpreter(
+    """Dynamic taint run on the workload's representative config.
+
+    *engine* names a registered execution engine whose registry entry
+    declares ``supports_taint`` (the built-in ``compiled`` and ``tree``
+    engines are bit-identical).  A workload without a usable
+    ``taint_config()`` raises a typed :class:`~repro.errors.PipelineError`
+    naming the workload instead of an ``AttributeError`` mid-stage.
+    """
+    name = getattr(workload, "name", type(workload).__name__)
+    taint_config = getattr(workload, "taint_config", None)
+    if not callable(taint_config):
+        raise PipelineError(
+            "taint",
+            f"workload '{name}' does not provide a taint_config() method; "
+            "the taint stage needs a small representative configuration "
+            "(see the Workload protocol in repro.measure.experiment)",
+        )
+    config = taint_config()
+    if not isinstance(config, Mapping):
+        raise PipelineError(
+            "taint",
+            f"workload '{name}' returned a non-mapping taint_config() "
+            f"({type(config).__name__}); expected a parameter -> value "
+            "mapping",
+        )
+    setup = workload.setup(dict(config))
+    taint = TaintEngine(
         program,
         runtime=setup.runtime,
         config=setup.exec_config,
         policy=policy,
         library_taint=library,
+        engine=engine,
     )
-    result = engine.analyze(setup.args, workload.sources(), entry=setup.entry)
+    result = taint.analyze(setup.args, workload.sources(), entry=setup.entry)
     return result.report
 
 
@@ -296,13 +326,22 @@ STAGES: dict[str, Stage] = {
             inputs=(),
             description="dynamic taint run on the representative config",
             compute=lambda c, a: run_taint_stage(
-                c.workload, c.program(), c.policy, c.library
+                c.workload,
+                c.program(),
+                c.policy,
+                c.library,
+                engine=c.taint_engine,
             ),
+            # Taint-engine identity (the shadow implementation, not just
+            # the concrete factory) plus the propagation policy are part
+            # of the fingerprint: cached taint artifacts never cross
+            # engines or policies.
             config=lambda c: {
                 "program": c.program_fingerprint(),
                 "workload": workload_repr(c.workload),
                 "policy": repr(c.policy),
                 "library": c.library.fingerprint(),
+                "engine": shadow_engine_identity(c.taint_engine),
             },
             to_payload=art.taint_report_to_dict,
             from_payload=art.taint_report_from_dict,
@@ -459,6 +498,9 @@ class Campaign:
     #: Per-configuration run-cache directory (below stage granularity).
     cache_dir: "str | None" = None
     engine: str = DEFAULT_MEASUREMENT_ENGINE
+    #: Execution engine for the taint stage (must declare
+    #: ``supports_taint`` in the engine registry).
+    taint_engine: str = DEFAULT_TAINT_ENGINE
     compare_black_box: bool = False
     cov_threshold: "float | None" = 0.1
     #: Stage-artifact workspace; None disables persistence and resume.
@@ -609,6 +651,7 @@ class Campaign:
             "mode",
             "design",
             "engine",
+            "taint_engine",
             "jobs",
             "seed",
             "repetitions",
@@ -689,6 +732,14 @@ class Campaign:
         DESIGN_REGISTRY.entry(design)  # fail fast with the valid names
         engine = str(data.get("engine", DEFAULT_MEASUREMENT_ENGINE))
         ENGINE_REGISTRY.entry(engine)
+        taint_engine = str(data.get("taint_engine", DEFAULT_TAINT_ENGINE))
+        ENGINE_REGISTRY.entry(taint_engine)  # unknown names fail first
+        if taint_engine not in shadow_capable_engines():
+            raise CampaignSpecError(
+                f"engine '{taint_engine}' cannot run the taint stage "
+                f"(taint-capable engines: "
+                f"{', '.join(shadow_capable_engines())})"
+            )
 
         cov_threshold = data.get("cov_threshold", 0.1)
         if isinstance(cov_threshold, str):
@@ -726,6 +777,7 @@ class Campaign:
             n_jobs=_spec_int(data, "jobs", 1, minimum=1),
             cache_dir=data.get("cache_dir"),
             engine=engine,
+            taint_engine=taint_engine,
             compare_black_box=bool(data.get("compare_black_box", False)),
             cov_threshold=cov_threshold,
             workspace=workspace,

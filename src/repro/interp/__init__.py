@@ -1,22 +1,32 @@
 """Execution substrate: metered execution of repro-IR programs.
 
-Two engines share one semantics core (:mod:`repro.interp.semantics`):
+Execution factors into **engines** (dispatch strategies) × **analysis
+domains** (optional shadow lattices, see :mod:`repro.interp.domain`),
+over one shared semantics core (:mod:`repro.interp.semantics`):
 
 * :class:`Interpreter` — the tree-walking engine.  Subclassable per-node
-  hooks; the taint engine (:mod:`repro.taint`) extends it with shadow
-  state.
+  hooks; :class:`ShadowInterpreter` is its domain-parameterized shadow
+  sibling.
 * :class:`CompiledEngine` — the IR-to-closure compiler
   (:mod:`repro.interp.compile`).  Lowers a finalized program once and
   executes pre-dispatched closures; the default for measurement runs.
+  :class:`CompiledShadowEngine` is its shadow sibling — shadows travel
+  through the same pre-resolved frame slots as values; the default for
+  taint runs.
 
 Construct engines through :func:`make_engine` rather than instantiating
-either class directly — callers then inherit new engines (and the
-"which engine for which job" defaults) automatically.
+any class directly — callers then inherit new engines (and the
+"which engine for which job" defaults) automatically.  Passing a
+shadow-tracking :class:`~repro.interp.domain.AnalysisDomain` selects an
+engine's shadow variant; engines declare domain support via the
+``supports_taint`` registry metadata.
 """
 
+from ..errors import RegistryError
 from ..registry import ENGINE_REGISTRY, register_engine
 from .compile import CompiledEngine, CompiledFunction
 from .config import DEFAULT_CONFIG, ExecConfig
+from .domain import AnalysisDomain, ConcreteDomain
 from .events import CostKind, ExecutionListener, MultiListener, NullListener
 from .fastpath import FastPathPlanner, LeafCost, leaf_unit_cost
 from .interpreter import Interpreter
@@ -27,11 +37,13 @@ from .runtime import (
     NoLibraryRuntime,
     TableRuntime,
 )
+from .shadowjit import CompiledShadowEngine
+from .shadowtree import ShadowInterpreter
 from .values import Array, Scalar, Value, truthy
 
-#: The tree-walking engine (taint analysis, per-node extension hooks).
+#: The tree-walking engine (subclassable per-node hooks).
 ENGINE_TREE = "tree"
-#: The closure-compiling engine (measurement hot path).
+#: The closure-compiling engine (measurement + taint hot paths).
 ENGINE_COMPILED = "compiled"
 #: Built-in engine identifiers, in preference order for measurement.
 #: The full (user-extensible) set lives in the engine registry.
@@ -39,17 +51,61 @@ ENGINES: tuple[str, ...] = (ENGINE_COMPILED, ENGINE_TREE)
 
 register_engine(
     ENGINE_COMPILED,
-    help="IR-to-closure compiler (measurement hot path)",
+    help="IR-to-closure compiler (measurement + taint hot paths)",
+    supports_taint=True,
+    shadow_factory=CompiledShadowEngine,
 )(CompiledEngine)
 register_engine(
     ENGINE_TREE,
     help="tree-walking interpreter (subclassable per-node hooks)",
+    supports_taint=True,
+    shadow_factory=ShadowInterpreter,
 )(Interpreter)
 
 #: Engine used by the measurement layer unless a caller overrides it.
-#: Taint runs always use the tree-walker (the taint engine subclasses
-#: its per-node hooks), independent of this default.
 DEFAULT_MEASUREMENT_ENGINE = ENGINE_COMPILED
+#: Engine used by the taint stage unless a caller overrides it.  Both
+#: built-ins produce bit-identical TaintReports; the compiled engine is
+#: ~2-4x faster on real programs (see benchmarks/bench_taint_speedup.py).
+DEFAULT_TAINT_ENGINE = ENGINE_COMPILED
+
+
+def shadow_capable_engines() -> tuple[str, ...]:
+    """Names of registered engines that can execute shadow domains.
+
+    Capability requires both the ``supports_taint`` declaration and the
+    ``shadow_factory`` that actually executes the domain — an entry
+    declaring one without the other is not capable, so everything that
+    validates against this list (CLI choices, campaign specs) agrees
+    with what :func:`make_engine` will accept.
+    """
+    return tuple(
+        entry.name
+        for entry in ENGINE_REGISTRY
+        if entry.metadata.get("supports_taint")
+        and entry.metadata.get("shadow_factory") is not None
+    )
+
+
+def shadow_engine_identity(engine: str) -> str:
+    """Stable identity of *engine*'s shadow implementation.
+
+    Artifact fingerprints of shadow-domain stages (taint) must key on
+    the class that actually executes the analysis — the registry
+    entry's ``shadow_factory`` — not just the concrete factory, so
+    re-registering an engine name with a different shadow
+    implementation invalidates cached artifacts.
+    """
+    entry = ENGINE_REGISTRY.entry(engine)
+    base = ENGINE_REGISTRY.identity(engine)
+    factory = entry.metadata.get("shadow_factory")
+    if factory is None:
+        return base
+    module = getattr(factory, "__module__", "?")
+    qualname = getattr(
+        factory, "__qualname__", getattr(factory, "__name__", "?")
+    )
+    return f"{base}+shadow:{module}.{qualname}"
 
 
 def make_engine(
@@ -58,28 +114,60 @@ def make_engine(
     runtime: "LibraryRuntime | None" = None,
     config: ExecConfig = DEFAULT_CONFIG,
     listener: "ExecutionListener | None" = None,
-) -> "Interpreter | CompiledEngine":
+    domain: "AnalysisDomain | None" = None,
+) -> "Interpreter | CompiledEngine | ShadowInterpreter | CompiledShadowEngine":
     """Construct an execution engine for *program*.
 
     *engine* names an entry of the engine registry: ``"tree"`` (the
     subclassable tree-walker, the default for direct use), ``"compiled"``
-    (the closure compiler the measurement layer uses), or any engine
-    registered by user code via
+    (the closure compiler the measurement and taint layers use), or any
+    engine registered by user code via
     :func:`repro.registry.register_engine`.  The built-ins produce
     bit-identical :class:`~repro.interp.metrics.RunResult` objects, events
     and errors; they differ only in dispatch cost.
+
+    *domain* selects the analysis domain.  ``None`` (or any domain with
+    ``tracks_shadow=False``) yields the concrete engine; a
+    shadow-tracking domain (e.g. :class:`repro.taint.domain.TaintDomain`)
+    yields the engine's shadow variant — the class its registry entry
+    names as ``shadow_factory`` — which executes the same value
+    semantics while threading the domain's shadows.  Engines registered
+    without a shadow factory raise :class:`~repro.errors.RegistryError`
+    for shadow domains.
     """
-    factory = ENGINE_REGISTRY.get(engine)
-    return factory(program, runtime=runtime, config=config, listener=listener)
+    entry = ENGINE_REGISTRY.entry(engine)
+    if domain is None or not domain.tracks_shadow:
+        return entry.factory(
+            program, runtime=runtime, config=config, listener=listener
+        )
+    shadow_factory = entry.metadata.get("shadow_factory")
+    if shadow_factory is None:
+        capable = ", ".join(shadow_capable_engines()) or "<none>"
+        raise RegistryError(
+            f"engine '{engine}' does not support analysis domains "
+            f"(domain '{domain.name}' requested; domain-capable engines: "
+            f"{capable})"
+        )
+    return shadow_factory(
+        program,
+        runtime=runtime,
+        config=config,
+        listener=listener,
+        domain=domain,
+    )
 
 
 __all__ = [
+    "AnalysisDomain",
     "Array",
     "CompiledEngine",
     "CompiledFunction",
+    "CompiledShadowEngine",
+    "ConcreteDomain",
     "CostKind",
     "DEFAULT_CONFIG",
     "DEFAULT_MEASUREMENT_ENGINE",
+    "DEFAULT_TAINT_ENGINE",
     "ENGINES",
     "ENGINE_COMPILED",
     "ENGINE_TREE",
@@ -97,9 +185,12 @@ __all__ = [
     "NullListener",
     "RunResult",
     "Scalar",
+    "ShadowInterpreter",
     "TableRuntime",
     "Value",
     "leaf_unit_cost",
     "make_engine",
+    "shadow_capable_engines",
+    "shadow_engine_identity",
     "truthy",
 ]

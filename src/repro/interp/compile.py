@@ -24,9 +24,11 @@ executes.  This module removes that dispatch cost by lowering a finalized
 :class:`~repro.interp.metrics.RunResult` metrics as the tree-walker —
 bit-identical by the shared :mod:`~repro.interp.semantics` core and
 enforced by the differential property tests in
-``tests/interp/test_compiled_differential.py``.  The taint engine stays on
-the tree-walker (it needs the per-node evaluation hooks); measurement runs
-default to this engine (see :func:`repro.interp.make_engine`).
+``tests/interp/test_compiled_differential.py``.  Measurement runs default
+to this engine (see :func:`repro.interp.make_engine`); shadow-tracking
+analyses (taint) use its domain-parameterized sibling
+:class:`~repro.interp.shadowjit.CompiledShadowEngine`, which reuses this
+module's compilation strategy with shadows in parallel frame slots.
 """
 
 from __future__ import annotations
@@ -685,8 +687,9 @@ class CompiledEngine:
     Drop-in equivalent of :class:`~repro.interp.interpreter.Interpreter`
     (same constructor, same :meth:`run` contract, bit-identical
     :class:`~repro.interp.metrics.RunResult`, events and errors), minus
-    the per-node ``_eval_*``/``_exec_*`` override hooks — subclass-based
-    extension (the taint engine) stays on the tree-walker.
+    the per-node ``_eval_*``/``_exec_*`` override hooks — shadow-tracking
+    analyses use :class:`~repro.interp.shadowjit.CompiledShadowEngine`,
+    which overrides only :meth:`_compile_functions`.
 
     The program is lowered once at construction; every subsequent
     :meth:`run` executes pre-dispatched closures.
@@ -708,9 +711,16 @@ class CompiledEngine:
         self._depth = 0
         self._planner = FastPathPlanner(program, config)
         self._bind_event_sinks()
-        # Two-phase compile: create every function shell first so call
-        # sites (including recursive ones) bind their targets directly,
-        # then lower the bodies.
+        self._compile_functions()
+
+    def _compile_functions(self) -> None:
+        """Lower every program function (overridden by shadow engines).
+
+        Two-phase compile: create every function shell first so call
+        sites (including recursive ones) bind their targets directly,
+        then lower the bodies.
+        """
+        program = self.program
         self._functions: dict[str, CompiledFunction] = {
             name: CompiledFunction(self, fn)
             for name, fn in program.functions.items()

@@ -7,8 +7,10 @@ objects, charging simulated time for every executed operation (see
 layer turns into profiles.  Library calls (``MPI_*``) resolve through a
 :class:`~repro.interp.runtime.LibraryRuntime`.
 
-Subclasses may override the ``_eval_*``/``_exec_*`` hooks; the taint engine
-(:mod:`repro.taint.engine`) extends this class with shadow state.
+Subclasses may override the ``_eval_*``/``_exec_*`` hooks; the
+domain-parameterized :class:`~repro.interp.shadowtree.ShadowInterpreter`
+extends this class with analysis-domain shadow state (taint being the
+bundled shadow domain, see :mod:`repro.taint.domain`).
 """
 
 from __future__ import annotations

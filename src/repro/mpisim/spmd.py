@@ -27,11 +27,15 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..interp import DEFAULT_MEASUREMENT_ENGINE, make_engine
+from ..interp import (
+    DEFAULT_MEASUREMENT_ENGINE,
+    DEFAULT_TAINT_ENGINE,
+    make_engine,
+)
 from ..interp.config import DEFAULT_CONFIG, ExecConfig
 from ..interp.values import Value
 from ..ir.program import Program
-from ..taint.engine import TaintInterpreter
+from ..taint.engine import TaintEngine
 from ..taint.report import TaintReport
 from ..taint.sources import LibraryTaintModel
 from .network import DEFAULT_NETWORK, NetworkModel
@@ -128,22 +132,25 @@ class SPMDSimulator:
         library_taint: LibraryTaintModel | None = None,
         rank_subset: Sequence[int] | None = None,
         entry: str | None = None,
+        taint_engine: str = DEFAULT_TAINT_ENGINE,
     ) -> TaintReport:
         """Taint analysis across ranks, reports merged by set union.
 
         Substitutes for the cross-process label exchange the paper leaves
         to future work (section 5.3): where rank-dependent branches select
         different code paths, merging per-rank reports recovers every
-        parameter dependence any rank exhibits.
+        parameter dependence any rank exhibits.  *taint_engine* picks the
+        executing engine (the built-ins are bit-identical).
         """
         merged: TaintReport | None = None
         ranks = rank_subset if rank_subset is not None else range(self.ranks)
         for rank in ranks:
-            engine = TaintInterpreter(
+            engine = TaintEngine(
                 self.program,
                 runtime=self._runtime_for(rank),
                 config=self.exec_config,
                 library_taint=library_taint,
+                engine=taint_engine,
             )
             report = engine.analyze(args, dict(sources), entry=entry).report
             merged = report if merged is None else merged.merge(report)

@@ -4,9 +4,17 @@ A DFSan-style taint system over the repro IR: union-tree labels with 16-bit
 ids, shadow frames and heap, data-flow plus explicit control-flow
 propagation, loop-exit and branch sinks, and a library taint model hook for
 MPI (section 5.3).
+
+Taint is packaged as an analysis *domain*
+(:class:`~repro.taint.domain.TaintDomain`) executed by any
+taint-capable engine of the engine registry — the tree-walker or the
+closure compiler, bit-identically; :class:`~repro.taint.engine.TaintEngine`
+is the driver (``TaintInterpreter`` remains as its tree-pinned
+backward-compatible alias).
 """
 
-from .engine import TaintInterpreter, TaintRunResult
+from .domain import TaintDomain
+from .engine import TaintEngine, TaintInterpreter, TaintRunResult
 from .label import CLEAN, MAX_LABELS, LabelInfo, LabelTable
 from .policy import DATAFLOW_ONLY, FULL_POLICY, PropagationPolicy
 from .report import (
@@ -42,6 +50,8 @@ __all__ = [
     "ShadowFrame",
     "ShadowHeap",
     "SourceSpec",
+    "TaintDomain",
+    "TaintEngine",
     "TaintInterpreter",
     "TaintReport",
     "TaintRunResult",

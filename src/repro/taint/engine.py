@@ -1,7 +1,16 @@
-"""The tainted interpreter: dynamic taint analysis for performance modeling.
+"""The taint engine: dynamic taint analysis for performance modeling.
 
-Extends the metered interpreter with DFSan-style shadow state and the
-paper's propagation policy (section 4.1):
+A thin driver over the generic execution substrate: taint semantics live
+in the :class:`~repro.taint.domain.TaintDomain` (an
+:class:`~repro.interp.domain.AnalysisDomain`), and *any* registered
+engine whose registry entry declares ``supports_taint`` can execute a
+taint run — the tree-walking
+:class:`~repro.interp.shadowtree.ShadowInterpreter` and the
+closure-compiling :class:`~repro.interp.shadowjit.CompiledShadowEngine`
+produce bit-identical :class:`~repro.taint.report.TaintReport` objects
+(enforced by ``tests/interp/test_compiled_differential.py``).
+
+The analysis itself follows the paper (section 4.1):
 
 * **sources** — entry arguments marked as performance parameters (plus
   library sources such as ``MPI_Comm_size``);
@@ -12,7 +21,7 @@ paper's propagation policy (section 4.1):
   selection, section 4.4); library calls record parametric dependencies
   from the library database (section 5.3).
 
-The engine always interprets loops iteration-by-iteration (the O(1) cost
+Engines always execute taint loops iteration-by-iteration (the O(1) cost
 fast path is disabled): taint runs use small representative configurations,
 exactly like the paper's LULESH ``size=5``, 8-rank taint run.
 """
@@ -22,55 +31,24 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Mapping, Sequence
 
-from ..errors import (
-    ArityError,
-    InterpreterError,
-    RecursionUnsupportedError,
-    UndefinedFunctionError,
-    UndefinedVariableError,
+from ..errors import InterpreterError
+from ..interp import (
+    DEFAULT_TAINT_ENGINE,
+    ENGINE_TREE,
+    make_engine,
 )
 from ..interp.config import DEFAULT_CONFIG, ExecConfig
-from ..interp.events import CostKind, ExecutionListener
-from ..interp.interpreter import (
-    FLOW_BREAK,
-    FLOW_CONTINUE,
-    FLOW_NORMAL,
-    FLOW_RETURN,
-    Interpreter,
-)
-from ..interp.semantics import (
-    MATH_INTRINSICS,
-    alloc_array,
-    apply_binop,
-    apply_unop,
-    bad_loop_step,
-    call_depth_exceeded,
-    check_work_amount,
-    require_array,
-)
+from ..interp.semantics import resolve_entry_args
+from ..interp.events import ExecutionListener
 from ..interp.metrics import MetricsCollector
 from ..interp.runtime import LibraryRuntime
-from ..interp.values import Value, truthy
-from ..ir.expr import BinOp, Call, Const, Expr, Intrinsic, Load, UnOp, Var
+from ..interp.values import Value
 from ..ir.program import Program
-from ..ir.stmt import (
-    Assign,
-    Break,
-    Continue,
-    ExprStmt,
-    For,
-    If,
-    Return,
-    Stmt,
-    Store,
-    While,
-    assigned_names,
-)
-from .label import CLEAN, LabelTable
+from .domain import TaintDomain
+from .label import CLEAN
 from .policy import FULL_POLICY, PropagationPolicy
 from .report import TaintReport
-from .shadow import ShadowFrame, ShadowHeap
-from .sources import LibraryTaintModel, NoLibraryTaint, SourceSpec
+from .sources import LibraryTaintModel, SourceSpec
 
 
 @dataclass
@@ -82,22 +60,24 @@ class TaintRunResult:
     metrics: MetricsCollector
 
 
-@dataclass(frozen=True)
-class _ControlEntry:
-    """One active tainted control region."""
+class TaintEngine:
+    """Dynamic taint analysis over a pluggable execution engine.
 
-    label: int
-    kind: str  # "branch" | "loop"
-    #: Names assigned inside the region (loop entries only).
-    assigned: frozenset[str]
+    Parameters mirror the plain engines plus the taint knobs:
 
-
-class TaintInterpreter(Interpreter):
-    """Interpreter with shadow state and taint sinks.
-
-    ``strict_recursion=True`` raises on recursive calls instead of warning
-    (the paper's analysis "does not support recursive functions" but "warns
-    of over-approximation when recursion is detected").
+    ``policy``
+        Which flows propagate labels
+        (:class:`~repro.taint.policy.PropagationPolicy`).
+    ``library_taint``
+        Taint semantics of library routines (the library database).
+    ``strict_recursion``
+        Raise on recursive calls instead of warning (the paper's
+        analysis "does not support recursive functions" but "warns of
+        over-approximation when recursion is detected").
+    ``engine``
+        A registered engine name whose entry declares ``supports_taint``
+        (default: the compiled engine; ``"tree"`` gives the classic
+        tree-walker).  Both built-ins are bit-identical.
     """
 
     def __init__(
@@ -109,30 +89,99 @@ class TaintInterpreter(Interpreter):
         policy: PropagationPolicy = FULL_POLICY,
         library_taint: LibraryTaintModel | None = None,
         strict_recursion: bool = False,
+        engine: str = DEFAULT_TAINT_ENGINE,
     ) -> None:
-        policy.validate()
-        super().__init__(
-            program,
-            runtime=runtime,
-            config=replace(config, fast_loops=False),
-            listener=listener,
-        )
+        self.program = program
         self.policy = policy
-        self.library_taint: LibraryTaintModel = library_taint or NoLibraryTaint()
-        self.strict_recursion = strict_recursion
-        self.labels = LabelTable()
-        self.report = TaintReport()
-        self.heap = ShadowHeap()
-        self._shadow: list[ShadowFrame] = []
-        # Control-dependency stack.  Branch entries always propagate their
-        # label to values assigned under them; loop entries propagate only
-        # to values that read loop-carried state (the loop variable or a
-        # name assigned inside the loop body) -- matching the paper's
-        # section 5.2 semantics: control flow taints "variables whose
-        # values depend on the control flow" (regElemSize++ depends on the
-        # iteration count; a loop-invariant assignment does not).
-        self._control: list[_ControlEntry] = []
-        self._executed: set[str] = set()
+        self.engine_name = engine
+        self.domain = TaintDomain(
+            policy=policy,
+            library_taint=library_taint,
+            strict_recursion=strict_recursion,
+        )
+        # Taint runs always iterate genuinely (small representative
+        # configurations; the loop sinks need every trip).
+        self._config = replace(config, fast_loops=False)
+        self._runtime = runtime
+        self._listener = listener
+        self._engine = make_engine(
+            program,
+            engine,
+            runtime=runtime,
+            config=self._config,
+            listener=listener,
+            domain=self.domain,
+        )
+        #: Lazily built concrete sibling for analysis-free run() calls.
+        self._concrete = None
+
+    # ------------------------------------------------------------------
+    # convenience views
+
+    @property
+    def labels(self):
+        """The domain's label table."""
+        return self.domain.labels
+
+    @property
+    def report(self) -> TaintReport:
+        """The (mutable) report the domain records into."""
+        return self.domain.report
+
+    @property
+    def heap(self):
+        """The domain's shadow heap."""
+        return self.domain.heap
+
+    @property
+    def metrics(self) -> MetricsCollector:
+        """The underlying engine's metrics collector."""
+        return self._engine.metrics
+
+    @property
+    def config(self) -> ExecConfig:
+        """The underlying engine's execution config (fast loops off)."""
+        return self._engine.config
+
+    @property
+    def runtime(self) -> LibraryRuntime:
+        """The underlying engine's library runtime."""
+        return self._engine.runtime
+
+    @property
+    def listener(self) -> ExecutionListener:
+        """The underlying engine's execution listener."""
+        return self._engine.listener
+
+    def run(self, args=(), entry: str | None = None):
+        """Concrete, analysis-free run of the program.
+
+        Matches the pre-refactor ``TaintInterpreter.run()``: no sources,
+        no sink recording — the analysis state (:attr:`report`,
+        :attr:`labels`, :attr:`heap`) is untouched, so interleaving
+        ``run()`` with :meth:`analyze` cannot corrupt a report.
+        Executes on a separate concrete engine of the same registered
+        family (same runtime/config/listener); its metrics travel in the
+        returned :class:`~repro.interp.metrics.RunResult`, not in
+        :attr:`metrics`.
+        """
+        if self._concrete is None:
+            self._concrete = make_engine(
+                self.program,
+                self.engine_name,
+                runtime=self._runtime,
+                config=self._config,
+                listener=self._listener,
+            )
+        return self._concrete.run(args, entry=entry)
+
+    @property
+    def library_taint(self) -> LibraryTaintModel:
+        return self.domain.library_taint
+
+    @property
+    def strict_recursion(self) -> bool:
+        return self.domain.strict_recursion
 
     # ------------------------------------------------------------------
     # entry point
@@ -147,14 +196,8 @@ class TaintInterpreter(Interpreter):
         *sources*, and return the taint report."""
         if not isinstance(sources, SourceSpec):
             sources = SourceSpec.from_mapping(sources)
-        name = entry or self.program.entry
-        fn = self.program.function(name)
-        missing = [p for p in fn.params if p not in args]
-        if missing:
-            raise InterpreterError(
-                f"missing entry argument(s) {missing} for '{name}'"
-            )
-        argvals = [args[p] for p in fn.params]
+        domain = self.domain
+        name, fn, argvals = resolve_entry_args(self.program, args, entry)
         arglabels = [CLEAN] * len(argvals)
         for src in sources.parameters:
             if src.argument not in fn.params:
@@ -163,395 +206,61 @@ class TaintInterpreter(Interpreter):
                     f"'{name}'"
                 )
             idx = fn.params.index(src.argument)
-            arglabels[idx] = self.labels.create(src.label_name())
-        self.report.parameters = sources.label_names()
-        value, _label = self._call_tainted(name, argvals, arglabels)
-        self.report.executed_functions = frozenset(self._executed)
+            arglabels[idx] = domain.source_label(src.label_name())
+        domain.report.parameters = sources.label_names()
+        value, _label = self._engine.call_shadow(name, argvals, arglabels)
+        domain.report.executed_functions = frozenset(domain.executed)
         self._check_recursion_warning()
-        return TaintRunResult(value, self.report, self.metrics)
+        return TaintRunResult(value, domain.report, self._engine.metrics)
 
     def _check_recursion_warning(self) -> None:
         from ..ir.callgraph import build_callgraph
 
         cg = build_callgraph(self.program)
-        rec = cg.recursive_functions() & self._executed
+        rec = cg.recursive_functions() & self.domain.executed
         for name in sorted(rec):
-            self.report.warn(
+            self.domain.report.warn(
                 f"recursion detected in '{name}': loop analysis is "
                 "over-approximate (paper section 4.1)"
             )
 
-    # ------------------------------------------------------------------
-    # helpers
 
-    def _expand(self, label: int) -> frozenset[str]:
-        return self.labels.expand(label)
+class TaintInterpreter(TaintEngine):
+    """Backward-compatible taint entry point, pinned to the tree-walker.
 
-    @property
-    def _frame(self) -> ShadowFrame:
-        return self._shadow[-1]
+    Before the analysis-domain refactor this class *was* the taint
+    implementation (an :class:`~repro.interp.interpreter.Interpreter`
+    subclass with inlined shadow state).  It is now a thin
+    :class:`TaintEngine` defaulting to the tree engine: the analysis
+    contract (constructor, :meth:`analyze`, reports) is unchanged, and
+    ``run``/``config``/``runtime``/``listener`` delegate to the
+    underlying engine — but it is no longer an ``Interpreter``
+    *subclass*, so ``isinstance(x, Interpreter)`` checks no longer
+    hold.  New code should use :class:`TaintEngine` (compiled by
+    default) or pass ``engine=`` explicitly.
+    """
 
-    def _control_label(self, reads: frozenset[str]) -> int:
-        """Control labels applying to a value computed from *reads*."""
-        if not self.policy.control_flow:
-            return CLEAN
-        out = CLEAN
-        for entry in self._control:
-            if entry.kind == "branch" or (reads & entry.assigned):
-                out = self.labels.union(out, entry.label)
-        return out
-
-    def _with_control(self, label: int, reads: frozenset[str] = frozenset()) -> int:
-        """Label to attach to an assigned value under the current policy."""
-        if self.policy.control_flow:
-            return self.labels.union(label, self._control_label(reads))
-        return label
-
-    # ------------------------------------------------------------------
-    # calls
-
-    def _call_tainted(
-        self, name: str, args: Sequence[Value], arglabels: Sequence[int]
-    ) -> tuple[Value, int]:
-        fn = self.program.function(name)
-        if len(args) != len(fn.params):
-            raise ArityError(name, len(fn.params), len(args))
-        if name in self._fn_stack:
-            msg = (
-                f"recursive call to '{name}' encountered during taint "
-                "analysis; results are over-approximate"
-            )
-            if self.strict_recursion:
-                raise RecursionUnsupportedError(msg)
-            self.report.warn(msg)
-        if self._depth >= self.config.max_call_depth:
-            raise call_depth_exceeded(name, self.config.max_call_depth)
-        env: dict[str, Value] = dict(zip(fn.params, args))
-        frame = ShadowFrame()
-        for pname, plabel in zip(fn.params, arglabels):
-            frame.set(pname, plabel)
-        self._depth += 1
-        self._fn_stack.append(name)
-        self._shadow.append(frame)
-        self._executed.add(name)
-        self.metrics.on_enter(name)
-        self.listener.on_enter(name)
-        try:
-            flow, value, label = self._texec_block(fn.body, env)
-            if flow == FLOW_RETURN:
-                return value, self._with_control(label)
-            return None, CLEAN  # void call
-        finally:
-            self.metrics.on_exit(name)
-            self.listener.on_exit(name)
-            self._shadow.pop()
-            self._fn_stack.pop()
-            self._depth -= 1
-
-    def _call_library_tainted(
-        self, name: str, args: Sequence[Value], arglabels: Sequence[int]
-    ) -> tuple[Value, int]:
-        result = self.runtime.call(name, args)
-        self.metrics.on_enter(name)
-        self.listener.on_enter(name)
-        for kind, amount in result.costs.items():
-            self._charge(kind, amount)
-        self.metrics.on_exit(name)
-        self.listener.on_exit(name)
-
-        ret_label = CLEAN
-        if self.library_taint.handles(name):
-            arg_params = [self._expand(l) for l in arglabels]
-            effect = self.library_taint.effect(name, args, arg_params)
-            for pname in effect.return_label_params:
-                ret_label = self.labels.union(ret_label, self.labels.create(pname))
-            caller = self._fn_stack[-1] if self._fn_stack else "<toplevel>"
-            self.report.record_library(
-                tuple(self._fn_stack), caller, name, effect.dependency_params
-            )
-        # Data-flow through the library call: the return value also carries
-        # its argument labels (conservative, e.g. MPI_Allreduce of a tainted
-        # value returns a tainted value).
-        if self.policy.data_flow:
-            for alabel in arglabels:
-                ret_label = self.labels.union(ret_label, alabel)
-        return result.value, self._with_control(ret_label)
-
-    # ------------------------------------------------------------------
-    # statements
-
-    def _texec_block(
-        self, body: Sequence[Stmt], env: dict[str, Value]
-    ) -> tuple[int, Value, int]:
-        for stmt in body:
-            flow, value, label = self._texec_stmt(stmt, env)
-            if flow != FLOW_NORMAL:
-                return flow, value, label
-        return FLOW_NORMAL, None, CLEAN
-
-    def _texec_stmt(
-        self, stmt: Stmt, env: dict[str, Value]
-    ) -> tuple[int, Value, int]:
-        self._step()
-        if isinstance(stmt, Assign):
-            self._charge(CostKind.COMPUTE, self.config.stmt_cost)
-            value, label = self._teval(stmt.value, env)
-            env[stmt.name] = value
-            self._frame.set(
-                stmt.name, self._with_control(label, stmt.value.free_vars())
-            )
-            return FLOW_NORMAL, None, CLEAN
-        if isinstance(stmt, ExprStmt):
-            self._charge(CostKind.COMPUTE, self.config.stmt_cost)
-            self._teval(stmt.expr, env)
-            return FLOW_NORMAL, None, CLEAN
-        if isinstance(stmt, Store):
-            self._charge(CostKind.COMPUTE, self.config.stmt_cost)
-            arr = require_array(
-                self._lookup(stmt.array, env), stmt.array, self.current_function
-            )
-            idx, idx_label = self._teval(stmt.index, env)
-            val, val_label = self._teval(stmt.value, env)
-            arr.store(int(idx), float(val))
-            # A tainted index makes the written value's location depend on
-            # the parameter: propagate both labels into the element.
-            reads = stmt.index.free_vars() | stmt.value.free_vars()
-            label = self._with_control(
-                self.labels.union(val_label, idx_label), reads
-            )
-            self.heap.store(arr, int(idx), label, self.labels.union)
-            return FLOW_NORMAL, None, CLEAN
-        if isinstance(stmt, Return):
-            if stmt.value is None:
-                return FLOW_RETURN, None, CLEAN
-            value, label = self._teval(stmt.value, env)
-            return FLOW_RETURN, value, label
-        if isinstance(stmt, Break):
-            return FLOW_BREAK, None, CLEAN
-        if isinstance(stmt, Continue):
-            return FLOW_CONTINUE, None, CLEAN
-        if isinstance(stmt, If):
-            return self._texec_if(stmt, env)
-        if isinstance(stmt, For):
-            return self._texec_for(stmt, env)
-        if isinstance(stmt, While):
-            return self._texec_while(stmt, env)
-        raise InterpreterError(f"cannot execute {type(stmt).__name__}")
-
-    def _texec_if(self, stmt: If, env: dict[str, Value]) -> tuple[int, Value, int]:
-        cond, cond_label = self._teval(stmt.cond, env)
-        taken = truthy(cond)
-        fn = self.current_function
-        # Branch sink (paper 4.4): record condition labels and the direction.
-        self.report.record_branch(
-            tuple(self._fn_stack), fn, stmt.branch_id, self._expand(cond_label), taken
+    def __init__(
+        self,
+        program: Program,
+        runtime: LibraryRuntime | None = None,
+        config: ExecConfig = DEFAULT_CONFIG,
+        listener: ExecutionListener | None = None,
+        policy: PropagationPolicy = FULL_POLICY,
+        library_taint: LibraryTaintModel | None = None,
+        strict_recursion: bool = False,
+        engine: str = ENGINE_TREE,
+    ) -> None:
+        super().__init__(
+            program,
+            runtime=runtime,
+            config=config,
+            listener=listener,
+            policy=policy,
+            library_taint=library_taint,
+            strict_recursion=strict_recursion,
+            engine=engine,
         )
-        if self.policy.implicit_flow and cond_label != CLEAN:
-            skipped = stmt.else_body if taken else stmt.then_body
-            for name in assigned_names(skipped):
-                if name in env:
-                    self._frame.set(
-                        name, self.labels.union(self._frame.get(name), cond_label)
-                    )
-        body = stmt.then_body if taken else stmt.else_body
-        if self.policy.control_flow and cond_label != CLEAN:
-            self._control.append(
-                _ControlEntry(cond_label, "branch", frozenset())
-            )
-            try:
-                return self._texec_block(body, env)
-            finally:
-                self._control.pop()
-        return self._texec_block(body, env)
 
-    def _texec_for(self, stmt: For, env: dict[str, Value]) -> tuple[int, Value, int]:
-        start, start_label = self._teval(stmt.start, env)
-        stop, stop_label = self._teval(stmt.stop, env)
-        step, step_label = self._teval(stmt.step, env)
-        if not isinstance(step, (int, float)) or step <= 0:
-            raise bad_loop_step(step, self.current_function)
-        # The loop exit condition is ``var < stop`` with var derived from
-        # start and step: its label is the union of all three (the sink of
-        # the loop-count analysis, paper 4.1).
-        cond_label = self.labels.union_all([start_label, stop_label, step_label])
-        fn = self.current_function
 
-        env[stmt.var] = start
-        var_label = self._with_control(
-            self.labels.union(start_label, step_label)
-        )
-        self._frame.set(stmt.var, var_label)  # reads nothing loop-carried
-
-        iters = 0
-        flow: int = FLOW_NORMAL
-        value: Value = None
-        label: int = CLEAN
-        push_control = self.policy.control_flow and cond_label != CLEAN
-        if push_control:
-            self._control.append(
-                _ControlEntry(
-                    cond_label,
-                    "loop",
-                    assigned_names(stmt.body) | {stmt.var},
-                )
-            )
-        try:
-            while env[stmt.var] < stop:
-                self._step()
-                self._charge(CostKind.COMPUTE, self.config.loop_iter_cost)
-                iters += 1
-                flow, value, label = self._texec_block(stmt.body, env)
-                if flow == FLOW_BREAK:
-                    flow = FLOW_NORMAL
-                    break
-                if flow == FLOW_RETURN:
-                    break
-                env[stmt.var] = env[stmt.var] + step
-                # Body assignments to the loop variable feed the exit
-                # condition: fold its current label into the sink.
-                cond_label = self.labels.union(
-                    cond_label, self._frame.get(stmt.var)
-                )
-        finally:
-            if push_control:
-                self._control.pop()
-
-        self.report.record_loop(
-            tuple(self._fn_stack), fn, stmt.loop_id, self._expand(cond_label), iters
-        )
-        if iters:
-            self.metrics.on_loop_iterations(fn, stmt.loop_id, iters)
-            self.listener.on_loop_iterations(fn, stmt.loop_id, iters)
-        if flow == FLOW_RETURN:
-            return flow, value, label
-        return FLOW_NORMAL, None, CLEAN
-
-    def _texec_while(
-        self, stmt: While, env: dict[str, Value]
-    ) -> tuple[int, Value, int]:
-        fn = self.current_function
-        iters = 0
-        flow: int = FLOW_NORMAL
-        value: Value = None
-        label: int = CLEAN
-        sink_label = CLEAN
-        while True:
-            cond, cond_label = self._teval(stmt.cond, env)
-            sink_label = self.labels.union(sink_label, cond_label)
-            if not truthy(cond):
-                break
-            self._step()
-            self._charge(CostKind.COMPUTE, self.config.loop_iter_cost)
-            iters += 1
-            push_control = self.policy.control_flow and cond_label != CLEAN
-            if push_control:
-                self._control.append(
-                    _ControlEntry(
-                        cond_label, "loop", assigned_names(stmt.body)
-                    )
-                )
-            try:
-                flow, value, label = self._texec_block(stmt.body, env)
-            finally:
-                if push_control:
-                    self._control.pop()
-            if flow == FLOW_BREAK:
-                flow = FLOW_NORMAL
-                break
-            if flow == FLOW_RETURN:
-                break
-        self.report.record_loop(
-            tuple(self._fn_stack), fn, stmt.loop_id, self._expand(sink_label), iters
-        )
-        if iters:
-            self.metrics.on_loop_iterations(fn, stmt.loop_id, iters)
-            self.listener.on_loop_iterations(fn, stmt.loop_id, iters)
-        if flow == FLOW_RETURN:
-            return flow, value, label
-        return FLOW_NORMAL, None, CLEAN
-
-    # ------------------------------------------------------------------
-    # expressions
-
-    def _teval(self, expr: Expr, env: dict[str, Value]) -> tuple[Value, int]:
-        if isinstance(expr, Const):
-            return expr.value, CLEAN
-        if isinstance(expr, Var):
-            return self._lookup(expr.name, env), self._frame.get(expr.name)
-        if isinstance(expr, BinOp):
-            op = expr.op
-            if op in ("and", "or"):
-                lhs, llabel = self._teval(expr.lhs, env)
-                take_rhs = truthy(lhs) if op == "and" else not truthy(lhs)
-                if take_rhs:
-                    rhs, rlabel = self._teval(expr.rhs, env)
-                    return rhs, self._join_data(llabel, rlabel)
-                return lhs, llabel
-            lhs, llabel = self._teval(expr.lhs, env)
-            rhs, rlabel = self._teval(expr.rhs, env)
-            return apply_binop(op, lhs, rhs), self._join_data(llabel, rlabel)
-        if isinstance(expr, UnOp):
-            operand, label = self._teval(expr.operand, env)
-            value = apply_unop(expr.op, operand)
-            return value, label if self.policy.data_flow else CLEAN
-        if isinstance(expr, Load):
-            arr = require_array(
-                self._lookup(expr.array, env), expr.array, self.current_function
-            )
-            idx, idx_label = self._teval(expr.index, env)
-            value = arr.load(int(idx))
-            elem_label = self.heap.load(arr, int(idx))
-            return value, self._join_data(elem_label, idx_label)
-        if isinstance(expr, Intrinsic):
-            return self._teval_intrinsic(expr, env)
-        if isinstance(expr, Call):
-            values: list[Value] = []
-            labs: list[int] = []
-            for a in expr.args:
-                v, l = self._teval(a, env)
-                values.append(v)
-                labs.append(l if self.policy.data_flow else CLEAN)
-            self._charge(CostKind.COMPUTE, self.config.call_cost)
-            if expr.callee in self.program:
-                return self._call_tainted(expr.callee, values, labs)
-            if self.runtime.handles(expr.callee):
-                return self._call_library_tainted(expr.callee, values, labs)
-            raise UndefinedFunctionError(expr.callee)
-        raise InterpreterError(f"cannot evaluate {type(expr).__name__}")
-
-    def _join_data(self, a: int, b: int) -> int:
-        if not self.policy.data_flow:
-            return CLEAN
-        return self.labels.union(a, b)
-
-    def _teval_intrinsic(
-        self, expr: Intrinsic, env: dict[str, Value]
-    ) -> tuple[Value, int]:
-        name = expr.name
-        if name in ("work", "mem_work"):
-            amount, label = self._teval(expr.args[0], env)
-            amount = check_work_amount(float(amount))
-            kind = CostKind.COMPUTE if name == "work" else CostKind.MEMORY
-            self._charge(kind, amount)
-            return amount, label if self.policy.data_flow else CLEAN
-        if name == "alloc":
-            size, _label = self._teval(expr.args[0], env)
-            arr, cost = alloc_array(size)
-            self._charge(CostKind.MEMORY, cost)
-            return arr, CLEAN
-        value, label = self._teval(expr.args[0], env)
-        if not self.policy.data_flow:
-            label = CLEAN
-        fn = MATH_INTRINSICS.get(name)
-        if fn is None:
-            raise InterpreterError(f"unknown intrinsic {name!r}")
-        return fn(value), label
-
-    # ------------------------------------------------------------------
-    # make sure untainted entry points still work
-
-    def _lookup(self, name: str, env: dict[str, Value]) -> Value:
-        try:
-            return env[name]
-        except KeyError:
-            raise UndefinedVariableError(name, self.current_function) from None
+__all__ = ["TaintEngine", "TaintInterpreter", "TaintRunResult"]

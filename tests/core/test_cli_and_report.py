@@ -78,6 +78,27 @@ class TestCLICommands:
         out = capsys.readouterr().out
         assert "do_gather" in out
 
+    def test_taint_fingerprint_identical_across_engines(self, capsys):
+        """`repro taint` prints the same report fingerprint for both
+        built-in engines (bit-identical TaintReports)."""
+        fingerprints = {}
+        for engine in ("tree", "compiled"):
+            assert (
+                main(["taint", "--app", "lulesh", "--taint-engine", engine])
+                == 0
+            )
+            out = capsys.readouterr().out
+            assert f"engine: {engine}" in out
+            line = next(
+                l for l in out.splitlines() if "report fingerprint" in l
+            )
+            fingerprints[engine] = line.split(":", 1)[1].strip()
+        assert fingerprints["tree"] == fingerprints["compiled"]
+
+    def test_taint_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            main(["taint", "--app", "notanapp"])
+
     def test_model_small(self, capsys):
         rc = main(
             [

@@ -103,8 +103,9 @@ class TestNoiseProperties:
         ]
         mean = np.mean(samples)
         # absolute floor adds |N| ~ 80 on average; the relative part is
-        # unbiased up to sampling error of the 200-sample mean.
-        assert base * 0.995 <= mean <= base * 1.05 + 200
+        # unbiased up to sampling error of the 200-sample mean (std
+        # ~0.0014*base, so a 1% band keeps unlucky draws out).
+        assert base * 0.99 <= mean <= base * 1.05 + 200
 
 
 class TestClassificationPartition:

@@ -6,6 +6,13 @@ iterations), same execution-event streams, and the same raised errors at
 the same point — over randomized IR programs and over all bundled apps.
 These tests are the license for the measurement layer to default to the
 compiled engine.
+
+The same holds for the **taint** analysis domain: the tree-walking and
+compiled shadow engines must produce identical ``TaintReport`` objects
+(loop/branch/library records with their parameter sets and call paths,
+implicit flows, warnings, executed-function sets) plus identical values
+and metrics — the license for the taint stage to default to the compiled
+engine.
 """
 
 from __future__ import annotations
@@ -243,6 +250,109 @@ class TestRandomizedDifferential:
         tree = run_one(program, "tree", {"a": a, "b": b}, config)
         compiled = run_one(program, "compiled", {"a": a, "b": b}, config)
         assert tree == compiled
+
+
+def run_taint(program, engine: str, args, config: ExecConfig, policy=None):
+    """Run taint analysis on *engine*; canonicalize outcome or error."""
+    from repro.taint.engine import TaintEngine
+    from repro.taint.policy import FULL_POLICY
+
+    taint = TaintEngine(
+        program,
+        runtime=_runtime(),
+        config=config,
+        policy=policy or FULL_POLICY,
+        engine=engine,
+    )
+    try:
+        result = taint.analyze(args, {"a": "a", "b": "b"})
+    except Exception as exc:  # noqa: BLE001 - error parity is the point
+        return ("error", type(exc).__name__, str(exc), taint.report)
+    return (
+        "ok",
+        result.value,
+        result.report,
+        dict(result.metrics.totals),
+        dict(result.metrics.loop_iterations),
+        {
+            name: (fm.calls, fm.compute, fm.memory, fm.comm)
+            for name, fm in result.metrics.functions.items()
+        },
+    )
+
+
+class TestTaintDifferential:
+    """Tree-walking taint ≡ compiled taint, report-bit-identical."""
+
+    @given(
+        program=programs(),
+        a=st.integers(0, 6),
+        b=st.integers(-2, 6),
+        implicit=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_taint_reports_bit_identical(self, program, a, b, implicit):
+        from repro.taint.policy import PropagationPolicy
+
+        policy = PropagationPolicy(implicit_flow=implicit)
+        config = ExecConfig(step_limit=20_000)
+        args = {"a": a, "b": b}
+        tree = run_taint(program, "tree", args, config, policy)
+        compiled = run_taint(program, "compiled", args, config, policy)
+        assert tree == compiled, (
+            f"taint engines diverged\ntree:     {tree!r}\n"
+            f"compiled: {compiled!r}"
+        )
+
+    @given(program=programs(), a=st.integers(0, 6), b=st.integers(0, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_dataflow_only_policy_identical(self, program, a, b):
+        from repro.taint.policy import DATAFLOW_ONLY
+
+        config = ExecConfig(step_limit=20_000)
+        args = {"a": a, "b": b}
+        tree = run_taint(program, "tree", args, config, DATAFLOW_ONLY)
+        compiled = run_taint(program, "compiled", args, config, DATAFLOW_ONLY)
+        assert tree == compiled
+
+    def _assert_app_taint_matches(self, workload) -> None:
+        from repro.core.stages import run_taint_stage
+        from repro.libdb.mpi_models import MPI_DATABASE
+        from repro.taint.policy import FULL_POLICY
+
+        program = workload.program()
+        reports = [
+            run_taint_stage(
+                workload,
+                program,
+                FULL_POLICY,
+                MPI_DATABASE.copy(),
+                engine=engine,
+            )
+            for engine in ("tree", "compiled")
+        ]
+        tree, compiled = reports
+        assert tree == compiled
+        # The canonical artifact payload (what campaign workspaces
+        # persist) must match bit for bit as well.
+        from repro.core.artifacts import taint_report_to_dict
+
+        assert taint_report_to_dict(tree) == taint_report_to_dict(compiled)
+
+    def test_lulesh(self):
+        from repro.apps.lulesh import LuleshWorkload
+
+        self._assert_app_taint_matches(LuleshWorkload())
+
+    def test_milc(self):
+        from repro.apps.milc import MilcWorkload
+
+        self._assert_app_taint_matches(MilcWorkload())
+
+    def test_synthetic(self):
+        from repro.apps.synthetic import make_scaling_workload
+
+        self._assert_app_taint_matches(make_scaling_workload())
 
 
 class TestAppDifferential:
