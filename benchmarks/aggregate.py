@@ -1,0 +1,106 @@
+"""Aggregate machine-readable benchmark records into BENCH_SUMMARY.json.
+
+Every benchmark writes a ``benchmarks/out/BENCH_<name>.json`` record (see
+``benchmarks/conftest.report``).  This script collects them into one
+committed top-level ``BENCH_SUMMARY.json``, so the repository's
+performance trajectory — engine, taint, and model-search speedups,
+overhead ratios, design sizes — is visible at the repo root and
+comparable across commits without re-running anything.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/aggregate.py            # write
+    PYTHONPATH=src python benchmarks/aggregate.py --check    # verify only
+
+The output is deterministic (sorted keys, no timestamps): rerunning the
+script on unchanged records produces a byte-identical file, so diffs of
+BENCH_SUMMARY.json always mean a benchmark's metrics actually moved.
+``--check`` exits non-zero when the committed summary is stale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+SUMMARY_PATH = REPO_ROOT / "BENCH_SUMMARY.json"
+
+#: Headline metrics surfaced at the top of the summary when present,
+#: keyed by benchmark name (the rest of each record stays under
+#: ``benchmarks``).
+HEADLINE_KEYS = {
+    "engine_speedup": "speedup",
+    "taint_speedup": "speedup",
+    "model_speedup": "speedup",
+    "parallel_scaling": "speedup",
+}
+
+
+def collect(out_dir: pathlib.Path = OUT_DIR) -> dict:
+    """Merge every BENCH_*.json record into one summary mapping."""
+    benchmarks: dict[str, dict] = {}
+    for path in sorted(out_dir.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"warning: skipping unreadable {path.name}: {exc}")
+            continue
+        name = str(payload.get("benchmark") or path.stem[len("BENCH_"):])
+        benchmarks[name] = payload.get("metrics", {})
+    headline = {
+        f"{name}_{key}": benchmarks[name][key]
+        for name, key in sorted(HEADLINE_KEYS.items())
+        if name in benchmarks and key in benchmarks[name]
+    }
+    return {
+        "record_count": len(benchmarks),
+        "speedups": headline,
+        "benchmarks": benchmarks,
+    }
+
+
+def render(summary: dict) -> str:
+    return json.dumps(summary, indent=2, sort_keys=True, default=str) + "\n"
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the committed summary matches the records; write "
+        "nothing",
+    )
+    args = parser.parse_args(argv)
+    if not OUT_DIR.is_dir():
+        print(f"error: no benchmark records at {OUT_DIR}", file=sys.stderr)
+        return 1
+    text = render(collect())
+    if args.check:
+        current = SUMMARY_PATH.read_text() if SUMMARY_PATH.exists() else ""
+        if current != text:
+            print(
+                f"{SUMMARY_PATH.name} is stale: rerun "
+                "'python benchmarks/aggregate.py'",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{SUMMARY_PATH.name} is up to date")
+        return 0
+    SUMMARY_PATH.write_text(text)
+    summary = json.loads(text)
+    print(
+        f"wrote {SUMMARY_PATH} "
+        f"({summary['record_count']} benchmark records)"
+    )
+    for key, value in summary["speedups"].items():
+        print(f"  {key}: {float(value):.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

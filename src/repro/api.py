@@ -47,10 +47,17 @@ from .errors import (
     ReproError,
 )
 from .interp import AnalysisDomain, make_engine
+from .modeling import (
+    DEFAULT_MODEL_BACKEND,
+    Modeler,
+    ModelSearchBackend,
+    make_model_backend,
+)
 from .registry import (
     CONTENTION_REGISTRY,
     DESIGN_REGISTRY,
     ENGINE_REGISTRY,
+    MODEL_BACKEND_REGISTRY,
     NOISE_REGISTRY,
     WORKLOAD_REGISTRY,
     Registry,
@@ -59,6 +66,7 @@ from .registry import (
     register_contention,
     register_design,
     register_engine,
+    register_model_backend,
     register_noise,
     register_workload,
 )
@@ -78,8 +86,12 @@ __all__ = [
     "CONTENTION_REGISTRY",
     "Campaign",
     "CampaignSpecError",
+    "DEFAULT_MODEL_BACKEND",
     "DESIGN_REGISTRY",
     "ENGINE_REGISTRY",
+    "MODEL_BACKEND_REGISTRY",
+    "Modeler",
+    "ModelSearchBackend",
     "NOISE_REGISTRY",
     "PerfTaintPipeline",
     "PerfTaintResult",
@@ -98,9 +110,11 @@ __all__ = [
     "artifact_fingerprint",
     "load_builtin_components",
     "make_engine",
+    "make_model_backend",
     "register_contention",
     "register_design",
     "register_engine",
+    "register_model_backend",
     "register_noise",
     "register_workload",
     "run_classify_stage",

@@ -24,7 +24,11 @@ jobs count.  Measurement commands take ``--engine`` to pick a registered
 execution engine (default: ``compiled``, the IR-to-closure compiler);
 ``taint``/``run``/``model`` take ``--taint-engine`` to pick the engine
 executing the dynamic taint stage (default ``compiled`` as well) — the
-built-in engines are bit-identical in both roles.  Everything prints
+built-in engines are bit-identical in both roles.  ``run``/``model``
+take ``--search-backend`` to pick the model-search backend (default
+``batched``, one stacked-LAPACK call per hypothesis class; ``loop`` is
+the per-hypothesis reference — both select identical models).
+Everything prints
 plain text; the same functionality is available programmatically via
 :mod:`repro.api`.
 """
@@ -53,6 +57,7 @@ from .measure.profiler import APP_KEY
 from .mpisim.contention import LogQuadraticContention
 from .registry import (
     ENGINE_REGISTRY,
+    MODEL_BACKEND_REGISTRY,
     WORKLOAD_REGISTRY,
     load_builtin_components,
 )
@@ -204,6 +209,7 @@ def cmd_model(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         engine=args.engine,
         taint_engine=args.taint_engine,
+        model_backend=args.search_backend,
     )
     result = pipeline.run(
         values,
@@ -220,6 +226,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         campaign.n_jobs = args.jobs
     if args.taint_engine is not None:
         campaign.taint_engine = args.taint_engine
+    if args.search_backend is not None:
+        campaign.model_backend = args.search_backend
     started = time.perf_counter()
     result = campaign.run()
     elapsed = time.perf_counter() - started
@@ -372,6 +380,17 @@ def _add_taint_engine_arg(
     )
 
 
+def _add_search_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--search-backend",
+        default=None,  # None: keep the modeler's / the spec's choice
+        choices=MODEL_BACKEND_REGISTRY.names(),
+        help="model-search backend for the model stage (default: batched, "
+        "one stacked-LAPACK call per hypothesis class; 'loop' is the "
+        "per-hypothesis reference — both select identical models)",
+    )
+
+
 def _add_app_arg(parser: argparse.ArgumentParser) -> None:
     # No argparse ``choices``: validation happens in ``_workload`` against
     # the live registry, so apps registered by user code are accepted and
@@ -439,6 +458,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_arg(p)
     _add_taint_engine_arg(p)
+    _add_search_backend_arg(p)
     p.set_defaults(func=cmd_model)
 
     p = sub.add_parser(
@@ -461,6 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the spec's worker-process count",
     )
     _add_taint_engine_arg(p, default=None)  # None: keep the spec's choice
+    _add_search_backend_arg(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("apps", help="list registered workloads")

@@ -20,7 +20,7 @@ Per function, the prior is assembled from:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from itertools import combinations
 
 from ..measure.experiment import Measurements
@@ -60,9 +60,22 @@ class ModelComparison:
 
 @dataclass
 class HybridModeler:
-    """Fits per-function models under taint priors."""
+    """Fits per-function models under taint priors.
+
+    *backend*, when set, overrides the wrapped modeler's model-search
+    backend (``loop`` | ``batched``); the per-function fits share that
+    backend's term-column and factorization caches, so every function
+    measured at the same configuration matrix reuses one set of
+    factorized hypothesis classes.
+    """
 
     modeler: Modeler = field(default_factory=Modeler)
+    #: Registered model-search backend name; None keeps the modeler's.
+    backend: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if self.backend is not None and self.backend != self.modeler.backend:
+            self.modeler = replace(self.modeler, backend=self.backend)
 
     # ------------------------------------------------------------------
 

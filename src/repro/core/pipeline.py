@@ -104,6 +104,11 @@ class PerfTaintPipeline:
     #: (the compiled engine executes taint through the same pre-resolved
     #: slots it uses for values).
     taint_engine: str = DEFAULT_TAINT_ENGINE
+    #: Model-search backend for the model stage ("batched" | "loop");
+    #: None keeps the modeler's own choice.  The built-ins select
+    #: identical models; "batched" fits every hypothesis class with one
+    #: stacked LAPACK call (see benchmarks/bench_model_speedup.py).
+    model_backend: str | None = None
 
     def __post_init__(self) -> None:
         self._program = None
@@ -219,6 +224,7 @@ class PerfTaintPipeline:
             modeler=self.modeler,
             compare_black_box=compare_black_box,
             cov_threshold=cov_threshold,
+            model_backend=self.model_backend,
         )
 
     def validate(
@@ -260,6 +266,7 @@ class PerfTaintPipeline:
             cache_dir=self.cache_dir,
             engine=self.engine,
             taint_engine=self.taint_engine,
+            model_backend=self.model_backend,
             compare_black_box=compare_black_box,
             cov_threshold=cov_threshold,
         )

@@ -60,6 +60,7 @@ from ..registry import (
     CONTENTION_REGISTRY,
     DESIGN_REGISTRY,
     ENGINE_REGISTRY,
+    MODEL_BACKEND_REGISTRY,
     NOISE_REGISTRY,
     WORKLOAD_REGISTRY,
     Registry,
@@ -234,9 +235,16 @@ def run_model_stage(
     modeler: Modeler,
     compare_black_box: bool = False,
     cov_threshold: "float | None" = 0.1,
+    model_backend: "str | None" = None,
 ) -> dict[str, ModelComparison]:
-    """Hybrid model generation (paper 4.5)."""
-    hybrid = HybridModeler(modeler=modeler)
+    """Hybrid model generation (paper 4.5).
+
+    *model_backend* names a registered model-search backend and, when
+    set, overrides the modeler's own (``batched`` stacked-LAPACK by
+    default; ``loop`` is the per-hypothesis reference oracle — both
+    select identical models).
+    """
+    hybrid = HybridModeler(modeler=modeler, backend=model_backend)
     return hybrid.model_all(
         measurements,
         taint,
@@ -437,9 +445,17 @@ STAGES: dict[str, Stage] = {
                 modeler=c.modeler,
                 compare_black_box=c.compare_black_box,
                 cov_threshold=c.cov_threshold,
+                model_backend=c.model_backend,
             ),
+            # The backend's registry identity (import path, not just the
+            # name) is part of the fingerprint — consistent with how
+            # engine identity is folded into the measure/taint stages —
+            # so cached model artifacts never cross search backends.
             config=lambda c: {
                 "modeler": repr(c.modeler),
+                "model_backend": MODEL_BACKEND_REGISTRY.identity(
+                    c.model_backend or c.modeler.backend
+                ),
                 "compare_black_box": bool(c.compare_black_box),
                 "cov_threshold": (
                     float(c.cov_threshold)
@@ -501,6 +517,9 @@ class Campaign:
     #: Execution engine for the taint stage (must declare
     #: ``supports_taint`` in the engine registry).
     taint_engine: str = DEFAULT_TAINT_ENGINE
+    #: Model-search backend for the model stage (``loop`` | ``batched``);
+    #: None keeps the modeler's own (``batched`` by default).
+    model_backend: "str | None" = None
     compare_black_box: bool = False
     cov_threshold: "float | None" = 0.1
     #: Stage-artifact workspace; None disables persistence and resume.
@@ -652,6 +671,7 @@ class Campaign:
             "design",
             "engine",
             "taint_engine",
+            "model_backend",
             "jobs",
             "seed",
             "repetitions",
@@ -674,7 +694,9 @@ class Campaign:
 
         Required keys: ``app`` (a registered workload name) and
         ``parameters`` (name -> list of values).  Optional: ``mode``,
-        ``design``, ``engine``, ``jobs``, ``seed``, ``repetitions``,
+        ``design``, ``engine``, ``taint_engine``, ``model_backend`` (a
+        registered model-search backend for the model stage),
+        ``jobs``, ``seed``, ``repetitions``,
         ``noise``/``contention`` (a registered name, or a table whose
         ``model`` key names one and whose remaining keys are constructor
         arguments), ``compare_black_box``, ``cov_threshold`` (a number or
@@ -740,6 +762,10 @@ class Campaign:
                 f"(taint-capable engines: "
                 f"{', '.join(shadow_capable_engines())})"
             )
+        model_backend = data.get("model_backend")
+        if model_backend is not None:
+            model_backend = str(model_backend)
+            MODEL_BACKEND_REGISTRY.entry(model_backend)  # fail fast
 
         cov_threshold = data.get("cov_threshold", 0.1)
         if isinstance(cov_threshold, str):
@@ -778,6 +804,7 @@ class Campaign:
             cache_dir=data.get("cache_dir"),
             engine=engine,
             taint_engine=taint_engine,
+            model_backend=model_backend,
             compare_black_box=bool(data.get("compare_black_box", False)),
             cov_threshold=cov_threshold,
             workspace=workspace,

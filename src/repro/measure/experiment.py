@@ -167,11 +167,30 @@ class Measurements:
 
         The paper's B1 screening keeps only functions with CoV <= 0.1
         everywhere ("values with a coefficient of variance larger than 0.1
-        ... are too affected by noise to be reliable").
+        ... are too affected by noise to be reliable").  The usual case —
+        every configuration measured the same number of times — reduces
+        over one (configs, repetitions) matrix instead of looping
+        configurations in Python (this screen runs inside the model
+        stage, once per measured function).
         """
-        worst = 0.0
-        for values in self.data.get(function, {}).values():
+        per_fn = self.data.get(function, {})
+        if not per_fn:
+            return 0.0
+        values = list(per_fn.values())
+        lengths = {len(v) for v in values}
+        if len(lengths) == 1:
+            if lengths.pop() < 2:
+                return 0.0
             arr = np.asarray(values, dtype=float)
+            means = arr.mean(axis=1)
+            ok = means > 0
+            if not np.any(ok):
+                return 0.0
+            stds = arr[ok].std(axis=1, ddof=1)
+            return float(np.max(stds / means[ok]))
+        worst = 0.0
+        for vals in values:
+            arr = np.asarray(vals, dtype=float)
             mean = arr.mean()
             if mean > 0 and len(arr) > 1:
                 worst = max(worst, float(arr.std(ddof=1) / mean))

@@ -5,6 +5,14 @@ paper's I/J exponent sets, the fast multi-parameter heuristic, and the
 :class:`Modeler` facade with white-box :class:`SearchPrior` support.
 """
 
+from .backends import (
+    DEFAULT_MODEL_BACKEND,
+    BatchedModelBackend,
+    LoopModelBackend,
+    ModelSearchBackend,
+    default_model_backend,
+    make_model_backend,
+)
 from .hypothesis import (
     Model,
     ModelStats,
@@ -32,16 +40,21 @@ from .terms import (
     DEFAULT_N_TERMS,
     TermSpec,
     candidate_terms,
+    evaluate_term_columns,
     product_term,
     single_param_term,
 )
 
 __all__ = [
+    "BatchedModelBackend",
     "DEFAULT_I",
     "DEFAULT_J",
+    "DEFAULT_MODEL_BACKEND",
     "DEFAULT_N_TERMS",
     "DEFAULT_SEARCH",
+    "LoopModelBackend",
     "Model",
+    "ModelSearchBackend",
     "ModelStats",
     "Modeler",
     "NO_RESTRICTIONS",
@@ -52,11 +65,14 @@ __all__ = [
     "best_terms_for_parameter",
     "candidate_terms",
     "compare_models",
+    "default_model_backend",
+    "evaluate_term_columns",
     "fit_constant",
     "fit_hypothesis",
     "generate_hypotheses",
     "kfold_smape",
     "loocv_smape",
+    "make_model_backend",
     "product_term",
     "search_multi_parameter",
     "search_single_parameter",

@@ -1,0 +1,528 @@
+"""Model-search backends: the modeling stage's execution substrate.
+
+The model search is the stage the paper's whole pipeline exists to
+accelerate ("with as few as three parameters, the model search space
+contains more than 10^14 candidates", section 4.5), and after the
+measurement and taint stages compiled their hot paths, it was the last
+tree-walked one: every PMNF hypothesis cost one ``np.linalg.lstsq`` call
+inside a Python loop, with candidate term columns re-evaluated per
+hypothesis and leave-one-out CV refitting n times per model.
+
+Mirroring the engines x domains architecture, the fitting strategy is
+now a registered component (``repro.registry.MODEL_BACKEND_REGISTRY``):
+
+* ``loop`` — the original implementation, one least-squares call per
+  hypothesis and one refit per CV fold.  Kept as the reference oracle
+  the differential test suite checks the fast path against.
+* ``batched`` — evaluates each unique candidate term exactly once into
+  a shared term-column cache keyed by exponents, stacks same-width
+  hypotheses into an ``(H, n, k)`` design tensor, factorizes the whole
+  class with one stacked-LAPACK QR call, and scores leave-one-out CV in
+  closed form from the factors (loo residual = e_i / (1 - h_ii), the
+  hat-matrix diagonal being the rowwise squared norms of Q).  Because a
+  factorization depends only on the design — not on the measurements —
+  one factorization serves every function fitted at the same
+  configuration matrix as additional right-hand sides.
+
+**Decision identity.**  Both backends reject hypotheses through the same
+rules evaluated on the same term columns: ``n < k``, non-finite columns
+(``np.isfinite``), intercept-duplicating constant columns
+(``np.allclose(col, col[0])``), the shared
+:func:`~repro.modeling.hypothesis.rank_guard` conditioning test standing
+in for ``lstsq``'s rank, and the non-positive-coefficient rule.  Fitted
+statistics agree to float tolerance (QR on the equilibrated design vs
+SVD on the raw one); selected models — term sets, prior metadata,
+constancy — are identical, enforced by the Hypothesis differential
+suite in ``tests/modeling/test_backend_differential.py``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from ..registry import MODEL_BACKEND_REGISTRY, register_model_backend
+from .hypothesis import (
+    Model,
+    ModelStats,
+    fit_constant,
+    fit_hypothesis,
+    rank_guard,
+    smape,
+)
+from .terms import TermSpec
+
+#: Backend the modeler uses unless a caller overrides it.  The ``loop``
+#: oracle remains registered for differential testing and bisection.
+DEFAULT_MODEL_BACKEND = "batched"
+
+#: A LOOCV fold whose training design loses rank when point *i* leaves
+#: (leverage h_ii -> 1) cannot be scored by the hat-matrix identity, and
+#: close to that point the refit loop's own screens (its ``np.allclose``
+#: constant-column test, its rank guard on the training matrix) start
+#: firing.  When any fold's slack ``1 - h_ii`` is at or below this
+#: bound, the closed form delegates the whole computation to the refit
+#: loop, whose per-fold verdicts are authoritative — so the two LOOCV
+#: implementations can never disagree where degeneracy is in play.
+CLOSED_FORM_MIN_SLACK = 1e-6
+
+
+class ModelSearchBackend(Protocol):
+    """What the search functions need from a fitting strategy."""
+
+    name: str
+
+    def fit_batch(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        parameters: "tuple[str, ...]",
+        hypotheses: "Sequence[tuple[TermSpec, ...]]",
+        require_nonnegative: bool = True,
+    ) -> "list[Model | None]":
+        """Fit every hypothesis on ``(X, y)``; None marks a rejection."""
+        ...
+
+    def loocv_smape(
+        self, X: np.ndarray, y: np.ndarray, model: Model
+    ) -> float:
+        """Leave-one-out CV error of *model*'s term structure."""
+        ...
+
+
+# ----------------------------------------------------------------------
+# the reference oracle
+
+
+def refit_fold_model(
+    X: np.ndarray, y: np.ndarray, model: Model
+) -> "Model | None":
+    """Refit *model*'s term structure on a training fold.
+
+    The reference cross-validation refit: the constant model refits to
+    the fold mean, anything else to the unconstrained least squares of
+    its fixed term set.  ``None`` marks a degenerate fold (the training
+    matrix rejects the term set).  Shared by :func:`refit_loocv_smape`
+    and :mod:`repro.modeling.crossval`'s k-fold loop.
+    """
+    if model.is_constant:
+        return fit_constant(X, y, model.parameters)
+    return fit_hypothesis(
+        X, y, model.parameters, model.terms, require_nonnegative=False
+    )
+
+
+def refit_loocv_smape(X: np.ndarray, y: np.ndarray, model: Model) -> float:
+    """LOOCV by n full refits — the reference the closed form must match.
+
+    Degenerate folds (the training matrix rejects the term set) score the
+    maximal SMAPE of 2.0.
+    """
+    n = X.shape[0]
+    errors = []
+    for i in range(n):
+        mask = np.ones(n, dtype=bool)
+        mask[i] = False
+        refit = refit_fold_model(X[mask], y[mask], model)
+        if refit is None:
+            errors.append(2.0)
+            continue
+        pred = refit.predict(X[~mask])
+        errors.append(smape(y[~mask], pred))
+    return float(np.mean(errors))
+
+
+class LoopModelBackend:
+    """One ``lstsq`` per hypothesis, one refit per CV fold (the oracle)."""
+
+    name = "loop"
+
+    def fit_batch(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        parameters: "tuple[str, ...]",
+        hypotheses: "Sequence[tuple[TermSpec, ...]]",
+        require_nonnegative: bool = True,
+    ) -> "list[Model | None]":
+        X = _as_design_matrix(X, parameters)
+        y = np.asarray(y, dtype=float)
+        return [
+            fit_hypothesis(
+                X, y, parameters, tuple(terms), require_nonnegative
+            )
+            for terms in hypotheses
+        ]
+
+    def loocv_smape(
+        self, X: np.ndarray, y: np.ndarray, model: Model
+    ) -> float:
+        X = _as_design_matrix(X, model.parameters)
+        y = np.asarray(y, dtype=float)
+        return refit_loocv_smape(X, y, model)
+
+
+# ----------------------------------------------------------------------
+# the batched backend
+
+
+def _as_design_matrix(X: np.ndarray, parameters: "tuple[str, ...]"):
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(-1, len(parameters))
+    return X
+
+
+@dataclass
+class _PreparedClass:
+    """One factorized hypothesis class: same coefficient count *k*.
+
+    ``order[v]`` maps the v-th factorized design back to its position in
+    the hypothesis tuple the class was prepared for; hypotheses missing
+    from ``order`` were rejected by the column or conditioning guards.
+    """
+
+    k: int
+    n_hypotheses: int
+    order: np.ndarray  # (V,) int indices of the surviving hypotheses
+    scales: np.ndarray  # (V, k) column norms of the surviving designs
+    q: np.ndarray  # (V, n, k) orthonormal factors
+    r: np.ndarray  # (V, k, k) triangular factors
+    #: Surviving hypotheses, aligned with ``order`` (Model construction).
+    hypotheses: "tuple[tuple[TermSpec, ...], ...]"
+
+
+_EMPTY = np.empty(0, dtype=int)
+
+
+class _Fitter:
+    """Everything batched that is bound to one configuration matrix.
+
+    Holds the term-column cache (each unique exponent tuple evaluated
+    exactly once over *X*) and an LRU of prepared hypothesis classes, so
+    fitting a second function at the same design reuses the stacked QR
+    factors and only pays one matrix-vector product per class.
+    """
+
+    def __init__(self, X: np.ndarray, max_classes: int = 64) -> None:
+        self.X = X
+        self.n = X.shape[0]
+        self._max_classes = max_classes
+        self._columns: dict[tuple, np.ndarray] = {}
+        self._usable: dict[tuple, bool] = {}
+        self._classes: "OrderedDict[tuple, _PreparedClass]" = OrderedDict()
+
+    # -- term columns ---------------------------------------------------
+
+    def column(self, term: TermSpec) -> np.ndarray:
+        col = self._columns.get(term.exponents)
+        if col is None:
+            col = term.evaluate(self.X)
+            self._columns[term.exponents] = col
+        return col
+
+    def column_usable(self, term: TermSpec) -> bool:
+        """Same screens the loop backend applies to this term's column:
+        finite everywhere, not an intercept-duplicating constant."""
+        usable = self._usable.get(term.exponents)
+        if usable is None:
+            col = self.column(term)
+            usable = bool(np.all(np.isfinite(col))) and not bool(
+                np.allclose(col, col[0])
+            )
+            self._usable[term.exponents] = usable
+        return usable
+
+    # -- hypothesis classes ----------------------------------------------
+
+    def prepared(
+        self, k: int, hypotheses: "tuple[tuple[TermSpec, ...], ...]"
+    ) -> _PreparedClass:
+        key = (k, hypotheses)
+        cached = self._classes.get(key)
+        if cached is not None:
+            self._classes.move_to_end(key)
+            return cached
+        prepared = self._prepare(k, hypotheses)
+        self._classes[key] = prepared
+        if len(self._classes) > self._max_classes:
+            self._classes.popitem(last=False)
+        return prepared
+
+    def _prepare(
+        self, k: int, hypotheses: "tuple[tuple[TermSpec, ...], ...]"
+    ) -> _PreparedClass:
+        n = self.n
+        empty = _PreparedClass(
+            k=k,
+            n_hypotheses=len(hypotheses),
+            order=_EMPTY,
+            scales=np.empty((0, k)),
+            q=np.empty((0, n, k)),
+            r=np.empty((0, k, k)),
+            hypotheses=(),
+        )
+        if n < k or not hypotheses:
+            return empty
+        usable = np.fromiter(
+            (
+                all(self.column_usable(term) for term in terms)
+                for terms in hypotheses
+            ),
+            dtype=bool,
+            count=len(hypotheses),
+        )
+        order = np.flatnonzero(usable)
+        if order.size == 0:
+            return empty
+        design = np.ones((order.size, n, k))
+        for v, h in enumerate(order):
+            for idx, term in enumerate(hypotheses[h]):
+                design[v, :, idx + 1] = self.column(term)
+        # One stacked QR factorizes the whole class; the guard's verdict
+        # and the solve factors come out of the same call.
+        scaled, scales, q, r, deficient = rank_guard(design)
+        keep = ~deficient
+        order = order[keep]
+        if order.size == 0:
+            return empty
+        return _PreparedClass(
+            k=k,
+            n_hypotheses=len(hypotheses),
+            order=order,
+            scales=scales[keep],
+            q=q[keep],
+            r=r[keep],
+            hypotheses=tuple(hypotheses[h] for h in order),
+        )
+
+
+def _pointwise_smape(
+    y: np.ndarray, pred: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-point SMAPE terms plus the zero-denominator validity mask.
+
+    The one kernel behind every vectorized SMAPE here, replicating
+    :func:`~repro.modeling.hypothesis.smape`'s conventions: masked-out
+    points (|y| + |pred| == 0) contribute 0.
+    """
+    denom = (np.abs(y) + np.abs(pred)) * 0.5
+    mask = denom > 0
+    values = np.where(
+        mask, np.abs(y - pred) / np.where(mask, denom, 1.0), 0.0
+    )
+    return values, mask
+
+
+def _batched_smape(y: np.ndarray, pred: np.ndarray) -> np.ndarray:
+    """Rowwise :func:`~repro.modeling.hypothesis.smape` of (V, n) *pred*."""
+    values, mask = _pointwise_smape(y[None, :], pred)
+    counts = mask.sum(axis=1)
+    return np.where(
+        counts > 0, values.sum(axis=1) / np.maximum(counts, 1), 0.0
+    )
+
+
+class BatchedModelBackend:
+    """Stacked-LAPACK fitting: one QR per hypothesis class.
+
+    Keeps an LRU of :class:`_Fitter` objects keyed by configuration
+    matrix, so the model stage — which fits many functions at the same
+    design — factorizes each hypothesis class once and reuses it across
+    functions as additional right-hand sides.
+    """
+
+    name = "batched"
+
+    def __init__(self, max_fitters: int = 8) -> None:
+        self._fitters: "OrderedDict[tuple, _Fitter]" = OrderedDict()
+        self._max_fitters = max_fitters
+
+    # ------------------------------------------------------------------
+
+    def _fitter(self, X: np.ndarray) -> _Fitter:
+        X = np.ascontiguousarray(X)
+        key = (X.shape, X.tobytes())
+        fitter = self._fitters.get(key)
+        if fitter is None:
+            fitter = _Fitter(X)
+            self._fitters[key] = fitter
+            if len(self._fitters) > self._max_fitters:
+                self._fitters.popitem(last=False)
+        else:
+            self._fitters.move_to_end(key)
+        return fitter
+
+    # ------------------------------------------------------------------
+
+    def fit_batch(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        parameters: "tuple[str, ...]",
+        hypotheses: "Sequence[tuple[TermSpec, ...]]",
+        require_nonnegative: bool = True,
+    ) -> "list[Model | None]":
+        X = _as_design_matrix(X, parameters)
+        y = np.asarray(y, dtype=float)
+        out: "list[Model | None]" = [None] * len(hypotheses)
+        if not hypotheses or X.shape[0] == 0:
+            return out
+        fitter = self._fitter(X)
+        tss = float(np.sum((y - y.mean()) ** 2)) if y.size else 0.0
+
+        by_k: "dict[int, list[int]]" = {}
+        for idx, terms in enumerate(hypotheses):
+            by_k.setdefault(len(terms) + 1, []).append(idx)
+
+        for k, idxs in sorted(by_k.items()):
+            group = tuple(tuple(hypotheses[i]) for i in idxs)
+            prepared = fitter.prepared(k, group)
+            if prepared.order.size == 0:
+                continue
+            models = self._solve(
+                X, prepared, y, parameters, require_nonnegative, tss
+            )
+            for v, h in enumerate(prepared.order):
+                out[idxs[h]] = models[v]
+        return out
+
+    def _solve(
+        self,
+        X: np.ndarray,
+        prepared: _PreparedClass,
+        y: np.ndarray,
+        parameters: "tuple[str, ...]",
+        require_nonnegative: bool,
+        tss: float,
+    ) -> "list[Model | None]":
+        n = y.shape[0]
+        k = prepared.k
+        # One matrix-vector product per class: Q^T y for every design.
+        b = np.einsum("vnk,n->vk", prepared.q, y)
+        try:
+            coef_scaled = np.linalg.solve(prepared.r, b[..., None])[..., 0]
+        except np.linalg.LinAlgError:  # pragma: no cover - guarded by rank
+            return [
+                fit_hypothesis(X, y, parameters, terms, require_nonnegative)
+                for terms in prepared.hypotheses
+            ]
+        coef = coef_scaled / prepared.scales
+        # Projection: Q (Q^T y) is the fitted response of every design.
+        pred = np.einsum("vnk,vk->vn", prepared.q, b)
+        resid = y[None, :] - pred
+        rss = np.einsum("vn,vn->v", resid, resid)
+        smapes = _batched_smape(y, pred)
+        if tss > 0:
+            r2 = 1.0 - rss / tss
+        else:
+            r2 = np.ones_like(rss)
+
+        if require_nonnegative and k > 1:
+            rejected = np.any(coef[:, 1:] <= 0, axis=1)
+        else:
+            rejected = np.zeros(coef.shape[0], dtype=bool)
+
+        models: "list[Model | None]" = []
+        for v, terms in enumerate(prepared.hypotheses):
+            if rejected[v]:
+                models.append(None)
+                continue
+            stats = ModelStats(
+                rss=float(rss[v]),
+                smape=float(smapes[v]),
+                r_squared=float(r2[v]),
+                n_points=n,
+                n_coefficients=k,
+            )
+            models.append(
+                Model(parameters, terms, coef[v].copy(), stats)
+            )
+        return models
+
+    # ------------------------------------------------------------------
+
+    def loocv_smape(
+        self, X: np.ndarray, y: np.ndarray, model: Model
+    ) -> float:
+        """Exact LOOCV from the hat-matrix identity.
+
+        loo residual = e_i / (1 - h_ii), with h_ii the hat-matrix
+        diagonal — the rowwise squared norms of the already-computed Q
+        factor.  The closed form runs only when every fold is
+        comfortably non-degenerate (leverage slack above
+        :data:`CLOSED_FORM_MIN_SLACK`); near-degenerate folds — and
+        designs the column screens reject outright — delegate the whole
+        computation to the reference refit loop, whose per-fold verdicts
+        are authoritative.  The two implementations therefore agree
+        exactly wherever they could differ, and to float tolerance
+        everywhere else.
+        """
+        X = _as_design_matrix(X, model.parameters)
+        y = np.asarray(y, dtype=float)
+        fitter = self._fitter(X)
+        terms = tuple(model.terms)
+        if not all(fitter.column_usable(term) for term in terms):
+            return refit_loocv_smape(X, y, model)
+        prepared = fitter.prepared(len(terms) + 1, (terms,))
+        if prepared.order.size == 0:
+            # The full design is rank-deficient: so is every fold's, and
+            # the refit loop scores every fold the maximal 2.0.
+            return 2.0
+        q = prepared.q[0]
+        slack = 1.0 - np.einsum("nk,nk->n", q, q)
+        if float(np.min(slack)) <= CLOSED_FORM_MIN_SLACK:
+            return refit_loocv_smape(X, y, model)
+        b = q.T @ y
+        loo_pred = y - (y - q @ b) / slack
+        errors, _mask = _pointwise_smape(y, loo_pred)
+        return float(np.mean(errors))
+
+
+register_model_backend(
+    "loop",
+    help="reference oracle: one lstsq per hypothesis, refit-loop LOOCV",
+)(LoopModelBackend)
+register_model_backend(
+    "batched",
+    help="stacked-LAPACK QR per hypothesis class, closed-form LOOCV",
+)(BatchedModelBackend)
+
+
+def make_model_backend(name: str = DEFAULT_MODEL_BACKEND):
+    """Instantiate the registered model-search backend *name*."""
+    return MODEL_BACKEND_REGISTRY.create(name)
+
+
+_SHARED_BACKENDS: "dict[str, ModelSearchBackend]" = {}
+
+
+def default_model_backend(
+    name: str = DEFAULT_MODEL_BACKEND,
+) -> ModelSearchBackend:
+    """Process-shared backend instance (its caches persist across calls).
+
+    The search functions use this when no backend is passed explicitly;
+    :class:`~repro.modeling.modeler.Modeler` instances hold their own.
+    """
+    backend = _SHARED_BACKENDS.get(name)
+    if backend is None:
+        backend = make_model_backend(name)
+        _SHARED_BACKENDS[name] = backend
+    return backend
+
+
+__all__ = [
+    "BatchedModelBackend",
+    "CLOSED_FORM_MIN_SLACK",
+    "DEFAULT_MODEL_BACKEND",
+    "LoopModelBackend",
+    "ModelSearchBackend",
+    "default_model_backend",
+    "make_model_backend",
+    "refit_fold_model",
+    "refit_loocv_smape",
+]

@@ -6,7 +6,10 @@ real dependence from fitted noise.  This module provides the standard
 instruments:
 
 * :func:`loocv_smape` — leave-one-out cross-validated SMAPE of a term set
-  (refits coefficients per fold; terms fixed);
+  (terms fixed; coefficients per fold).  Dispatches to the configured
+  model-search backend: the ``batched`` default scores every fold in
+  closed form from the hat-matrix identity (loo residual =
+  e_i / (1 - h_ii)) instead of n refits, the ``loop`` oracle refits;
 * :func:`kfold_smape` — k-fold variant for larger designs;
 * :func:`compare_models` — paired comparison of two fitted models on held
   out points (used by tests to show the hybrid prior generalizes better
@@ -18,18 +21,20 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ModelingError
-from .hypothesis import Model, fit_constant, fit_hypothesis, smape
+from .backends import (
+    ModelSearchBackend,
+    default_model_backend,
+    refit_fold_model,
+)
+from .hypothesis import Model, smape
 
 
-def _refit(X, y, model: Model) -> Model | None:
-    if model.is_constant:
-        return fit_constant(X, y, model.parameters)
-    return fit_hypothesis(
-        X, y, model.parameters, model.terms, require_nonnegative=False
-    )
-
-
-def loocv_smape(X: np.ndarray, y: np.ndarray, model: Model) -> float:
+def loocv_smape(
+    X: np.ndarray,
+    y: np.ndarray,
+    model: Model,
+    backend: "ModelSearchBackend | None" = None,
+) -> float:
     """Leave-one-out CV error of *model*'s term structure on (X, y)."""
     X = np.asarray(X, dtype=float)
     y = np.asarray(y, dtype=float)
@@ -38,18 +43,8 @@ def loocv_smape(X: np.ndarray, y: np.ndarray, model: Model) -> float:
     n = X.shape[0]
     if n < model.stats.n_coefficients + 1:
         raise ModelingError("too few points for leave-one-out CV")
-    errors = []
-    for i in range(n):
-        mask = np.ones(n, dtype=bool)
-        mask[i] = False
-        refit = _refit(X[mask], y[mask], model)
-        if refit is None:
-            # Fold is degenerate for this term set: maximal error.
-            errors.append(2.0)
-            continue
-        pred = refit.predict(X[~mask])
-        errors.append(smape(y[~mask], pred))
-    return float(np.mean(errors))
+    backend = backend or default_model_backend()
+    return backend.loocv_smape(X, y, model)
 
 
 def kfold_smape(
@@ -72,25 +67,34 @@ def kfold_smape(
         mask = np.ones(n, dtype=bool)
         mask[fold] = False
         if mask.sum() < model.stats.n_coefficients:
+            # Too few training points to determine the coefficients: the
+            # fold is degenerate for this term set and scores the maximal
+            # error, exactly like loocv_smape's failed refits — silently
+            # skipping it would overstate the model's CV quality.
+            errors.append(2.0)
             continue
-        refit = _refit(X[mask], y[mask], model)
+        refit = refit_fold_model(X[mask], y[mask], model)
         if refit is None:
             errors.append(2.0)
             continue
         errors.append(smape(y[~mask], refit.predict(X[~mask])))
-    if not errors:
+    if not errors:  # pragma: no cover - k >= 2 always yields folds
         raise ModelingError("no valid folds")
     return float(np.mean(errors))
 
 
 def compare_models(
-    X: np.ndarray, y: np.ndarray, a: Model, b: Model
+    X: np.ndarray,
+    y: np.ndarray,
+    a: Model,
+    b: Model,
+    backend: "ModelSearchBackend | None" = None,
 ) -> dict[str, float]:
     """LOO-CV comparison of two fitted models on the same data.
 
     Returns {"a": cv_a, "b": cv_b, "advantage": cv_b - cv_a} — positive
     advantage means *a* generalizes better.
     """
-    cv_a = loocv_smape(X, y, a)
-    cv_b = loocv_smape(X, y, b)
+    cv_a = loocv_smape(X, y, a, backend=backend)
+    cv_b = loocv_smape(X, y, b, backend=backend)
     return {"a": cv_a, "b": cv_b, "advantage": cv_b - cv_a}

@@ -14,7 +14,52 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ModelingError
-from .terms import TermSpec
+from .terms import TermSpec, evaluate_term_columns
+
+#: Double-precision machine epsilon, the unit of the conditioning guard.
+MACHINE_EPS = float(np.finfo(np.float64).eps)
+
+
+def column_scales(design: np.ndarray) -> np.ndarray:
+    """Euclidean norm of every design column (zeros mapped to 1).
+
+    Works on a single ``(n, k)`` design or a stacked ``(H, n, k)`` tensor.
+    Equilibrating columns to unit norm before forming Gram matrices keeps
+    the conditioning guard about the *geometry* of the term set, not the
+    wildly different magnitudes PMNF columns reach (``x^3`` vs ``1``).
+    """
+    scales = np.sqrt(np.einsum("...nk,...nk->...k", design, design))
+    return np.where(scales > 0.0, scales, 1.0)
+
+
+def rank_guard(
+    design: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Column-equilibrated QR factors plus rank-deficiency verdicts.
+
+    Returns ``(scaled, scales, q, r, deficient)`` for a ``(n, k)`` design
+    or a stacked ``(H, n, k)`` tensor (``deficient`` is then ``(H,)``).
+    The verdict mirrors ``lstsq``'s SVD rank test — smallest singular
+    value at or below ``max(n, k) * eps`` relative to the largest — using
+    the diagonal of the equilibrated R factor as the singular-value
+    estimate (reliable at PMNF widths, k <= 3; unlike Gram eigenvalues it
+    does not square the condition number, so well-conditioned hypotheses
+    over narrow parameter ranges stay accepted).  Both backends reject
+    through this one test, so their accept/reject decisions agree by
+    construction; the batched backend also reuses the factors for its
+    stacked solves.  The design must be finite (callers screen
+    non-finite columns first) and have ``n >= k``.
+    """
+    scales = column_scales(design)
+    scaled = design / scales[..., None, :]
+    q, r = np.linalg.qr(scaled)
+    rdiag = np.abs(np.diagonal(r, axis1=-2, axis2=-1))
+    n, k = design.shape[-2], design.shape[-1]
+    cutoff = max(n, k) * MACHINE_EPS * np.max(rdiag, axis=-1)
+    deficient = ~np.all(np.isfinite(rdiag), axis=-1) | (
+        np.min(rdiag, axis=-1) <= cutoff
+    )
+    return scaled, scales, q, r, deficient
 
 
 @dataclass(frozen=True)
@@ -43,14 +88,21 @@ class Model:
     metadata: dict = field(default_factory=dict)
 
     def predict(self, X: np.ndarray) -> np.ndarray:
-        """Evaluate the model on configuration matrix *X*."""
+        """Evaluate the model on configuration matrix *X*.
+
+        Terms are assembled into one column matrix (each unique term
+        evaluated exactly once) and applied as a single matrix-vector
+        product, so prediction on large validation grids costs one BLAS
+        call instead of a Python loop over terms.
+        """
         X = np.asarray(X, dtype=float)
         if X.ndim == 1:
             X = X.reshape(-1, len(self.parameters))
-        out = np.full(X.shape[0], float(self.coefficients[0]))
-        for coef, term in zip(self.coefficients[1:], self.terms):
-            out = out + coef * term.evaluate(X)
-        return out
+        if not self.terms:
+            return np.full(X.shape[0], float(self.coefficients[0]))
+        columns = evaluate_term_columns(X, self.terms)
+        coef = np.asarray(self.coefficients, dtype=float)
+        return coef[0] + columns @ coef[1:]
 
     def predict_one(self, config: "dict[str, float]") -> float:
         """Evaluate at a single named configuration."""
@@ -93,9 +145,11 @@ def fit_hypothesis(
     """Fit one hypothesis by least squares.
 
     Returns None when the design matrix is rank-deficient for this term
-    set or (with *require_nonnegative*) a non-constant coefficient is not
-    strictly positive — such hypotheses cannot describe a runtime
-    contribution and are discarded from the search.
+    set (per the shared :func:`rank_guard` conditioning test, so the
+    ``loop`` and ``batched`` backends agree) or (with
+    *require_nonnegative*) a non-constant coefficient is not strictly
+    positive — such hypotheses cannot describe a runtime contribution
+    and are discarded from the search.
     """
     X = np.asarray(X, dtype=float)
     y = np.asarray(y, dtype=float)
@@ -115,11 +169,16 @@ def fit_hypothesis(
         col = design[:, idx]
         if np.allclose(col, col[0]):
             return None
-    try:
-        coef, _res, rank, _sv = np.linalg.lstsq(design, y, rcond=None)
-    except np.linalg.LinAlgError:  # pragma: no cover - lstsq rarely raises
+    _scaled, _scales, _q, _r, deficient = rank_guard(design)
+    if bool(deficient):
         return None
-    if rank < k:
+    # The guard's QR factors are deliberately NOT reused for the solve:
+    # lstsq's SVD keeps this oracle's solution path independent of the
+    # batched backend's QR solves — the independence the differential
+    # suite relies on — at the cost of a second small factorization.
+    try:
+        coef, _res, _rank, _sv = np.linalg.lstsq(design, y, rcond=None)
+    except np.linalg.LinAlgError:  # pragma: no cover - lstsq rarely raises
         return None
     if require_nonnegative and len(coef) > 1 and np.any(coef[1:] <= 0):
         return None

@@ -23,6 +23,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ModelingError
+from .backends import (
+    DEFAULT_MODEL_BACKEND,
+    ModelSearchBackend,
+    make_model_backend,
+)
 from .hypothesis import Model, fit_constant
 from .multiparam import (
     NO_RESTRICTIONS,
@@ -58,9 +63,28 @@ class SearchPrior:
 
 @dataclass
 class Modeler:
-    """Fits PMNF models, optionally under a white-box prior."""
+    """Fits PMNF models, optionally under a white-box prior.
+
+    *backend* names a registered model-search backend (see
+    :mod:`repro.modeling.backends`): ``batched`` (default) fits every
+    hypothesis class with one stacked-LAPACK call, ``loop`` is the
+    per-hypothesis reference oracle.  Both select identical models; the
+    choice participates in campaign fingerprints, so cached model
+    artifacts never cross backends.
+    """
 
     config: SearchConfig = DEFAULT_SEARCH
+    backend: str = DEFAULT_MODEL_BACKEND
+
+    def __post_init__(self) -> None:
+        self._backend_obj: "ModelSearchBackend | None" = None
+
+    def search_backend(self) -> ModelSearchBackend:
+        """The backend instance (memoized: it owns the term-column and
+        factorization caches shared across this modeler's fits)."""
+        if self._backend_obj is None:
+            self._backend_obj = make_model_backend(self.backend)
+        return self._backend_obj
 
     def model(
         self,
@@ -110,11 +134,20 @@ class Modeler:
                 model.metadata["prior"] = "constant"
                 return model
             model = search_single_parameter(
-                X[:, 0], y, parameters[0], self.config
+                X[:, 0],
+                y,
+                parameters[0],
+                self.config,
+                backend=self.search_backend(),
             )
         else:
             model = search_multi_parameter(
-                X, y, parameters, self.config, restrictions
+                X,
+                y,
+                parameters,
+                self.config,
+                restrictions,
+                backend=self.search_backend(),
             )
         model.metadata["prior"] = (
             "black-box" if prior == SearchPrior.black_box() else "taint"

@@ -28,8 +28,15 @@ from itertools import combinations, product as iproduct
 
 import numpy as np
 
-from .hypothesis import Model, fit_constant, fit_hypothesis
-from .search import SearchConfig, DEFAULT_SEARCH, _better, best_terms_for_parameter
+from .backends import ModelSearchBackend, default_model_backend
+from .hypothesis import Model, fit_constant
+from .search import (
+    DEFAULT_SEARCH,
+    SearchConfig,
+    _better,
+    _rss_floor,
+    best_terms_for_parameter,
+)
 from .terms import TermSpec, product_term, single_param_term
 
 
@@ -139,13 +146,16 @@ def search_multi_parameter(
     config: SearchConfig = DEFAULT_SEARCH,
     restrictions: TermRestrictions = NO_RESTRICTIONS,
     top_k: int = 3,
+    backend: "ModelSearchBackend | None" = None,
 ) -> Model:
     """Best multi-parameter PMNF model under *restrictions*."""
+    backend = backend or default_model_backend()
     X = np.asarray(X, dtype=float)
     y = np.asarray(y, dtype=float)
     if X.ndim == 1:
         X = X.reshape(-1, len(parameters))
     n_params = X.shape[1]
+    floor = _rss_floor(y)
 
     best = fit_constant(X, y, parameters)
 
@@ -157,19 +167,19 @@ def search_multi_parameter(
         lifted = [
             _lift(t, l, n_params)
             for t in best_terms_for_parameter(
-                xs, ys, parameters[l], config, top_k
+                xs, ys, parameters[l], config, top_k, backend=backend
             )
         ]
         per_param[l] = lifted
 
-    for terms in generate_hypotheses(
+    hypotheses = generate_hypotheses(
         per_param, n_params, parameters, restrictions, config.n_terms
+    )
+    for model in backend.fit_batch(
+        X, y, parameters, hypotheses, config.require_nonnegative
     ):
-        model = fit_hypothesis(
-            X, y, parameters, terms, config.require_nonnegative
-        )
         if model is not None and _better(
-            model, best, config.improvement_threshold
+            model, best, config.improvement_threshold, floor
         ):
             best = model
     return best

@@ -6,16 +6,24 @@ by residual error with a mild parsimony bias — close to Extra-P 3.0's
 behaviour, which is deliberately permissive: under noise it will happily
 prefer a spurious parametric model over the true constant, which is the
 failure mode the paper's taint prior eliminates (section B1).
+
+Hypotheses are fitted through a pluggable
+:class:`~repro.modeling.backends.ModelSearchBackend` (``loop`` reference
+vs ``batched`` stacked-LAPACK); selection — the fold over
+:func:`_better` in enumeration order — is backend-independent, which is
+what makes the backends decision-identical.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from itertools import combinations
 
 import numpy as np
 
-from .hypothesis import Model, fit_constant, fit_hypothesis
+from .backends import ModelSearchBackend, default_model_backend
+from .hypothesis import Model, fit_constant
 from .terms import (
     DEFAULT_I,
     DEFAULT_J,
@@ -42,23 +50,93 @@ class SearchConfig:
 DEFAULT_SEARCH = SearchConfig()
 
 
-def _better(candidate: Model, incumbent: Model, threshold: float) -> bool:
+def _rss_floor(y: np.ndarray) -> float:
+    """RSS below this level is float rounding noise from an exact fit.
+
+    Residuals of a hypothesis that matches the data exactly are pure
+    rounding error (relative magnitude well under 1e-8), yet relative-RSS
+    comparisons would amplify that noise into arbitrary selections —
+    and different-but-equally-exact backends would amplify it
+    *differently*.  Flooring RSS at this scale makes exact fits compare
+    as exactly zero, so selection among them falls back to the
+    deterministic enumeration-order/parsimony rules on every backend.
+    """
+    if y.size == 0:
+        return 0.0
+    scale = max(1.0, float(np.max(np.abs(y))))
+    return y.size * (1e-8 * scale) ** 2
+
+
+#: Relative RSS improvement below which two same-size hypotheses count
+#: as tied.  Mathematically tied hypotheses are common — on a two-level
+#: factorial design every additive pair spans the same column space — and
+#: their computed RSS differs only by backend rounding (<= ~1e-12
+#: relative), so a raw ``<`` would let float noise pick the winner.
+#: Ties keep the earlier-enumerated hypothesis on every backend.
+RSS_TIE_REL_TOL = 1e-10
+
+
+def _better(
+    candidate: Model, incumbent: Model, threshold: float, floor: float = 0.0
+) -> bool:
     """Does *candidate* beat *incumbent* under the parsimony rule?
 
     Smaller RSS wins; a hypothesis with more coefficients must improve RSS
-    by at least *threshold* relatively to displace a smaller one.
+    by at least *threshold* relatively to displace a smaller one.  RSS at
+    or below *floor* (see :func:`_rss_floor`) counts as an exact fit, and
+    same-size displacement needs a genuine improvement
+    (:data:`RSS_TIE_REL_TOL`), keeping selection backend-independent.
     """
+    c_rss = candidate.stats.rss if candidate.stats.rss > floor else 0.0
+    i_rss = incumbent.stats.rss if incumbent.stats.rss > floor else 0.0
     if candidate.stats.n_coefficients > incumbent.stats.n_coefficients:
-        if incumbent.stats.rss <= 0:
+        if i_rss <= 0:
             return False
-        gain = (incumbent.stats.rss - candidate.stats.rss) / incumbent.stats.rss
+        gain = (i_rss - c_rss) / i_rss
         return gain > threshold
     if candidate.stats.n_coefficients < incumbent.stats.n_coefficients:
-        if candidate.stats.rss <= 0:
+        if c_rss <= 0:
             return True
-        loss = (candidate.stats.rss - incumbent.stats.rss) / candidate.stats.rss
+        loss = (c_rss - i_rss) / c_rss
         return loss <= threshold
-    return candidate.stats.rss < incumbent.stats.rss
+    if i_rss <= 0:
+        return False
+    return (i_rss - c_rss) / i_rss > RSS_TIE_REL_TOL
+
+
+def _rank_rss(rss: float, floor: float) -> float:
+    """RSS as a deterministic ranking key.
+
+    Floored (:func:`_rss_floor`) and quantized to 10 significant digits,
+    so backend rounding (<= ~1e-12 relative) cannot reorder near-ties —
+    the exponent tie-break decides those instead.
+    """
+    if rss <= floor:
+        return 0.0
+    scale = 10.0 ** (math.floor(math.log10(rss)) - 9)
+    return round(rss / scale) * scale
+
+
+def _shortlist(
+    fitted_single: "list[tuple[TermSpec, Model]]",
+    limit: int = 16,
+    floor: float = 0.0,
+) -> "list[TermSpec]":
+    """The most promising single terms for pair enumeration.
+
+    Ordered by (quantized RSS, exponents): the exponent tuple breaks RSS
+    ties deterministically, so the shortlist — and hence the pair
+    search — does not depend on candidate enumeration order or on the
+    fitting backend.
+    """
+    ranked = sorted(
+        fitted_single,
+        key=lambda tm: (
+            _rank_rss(tm[1].stats.rss, floor),
+            tm[0].exponents,
+        ),
+    )
+    return [term for term, _model in ranked[:limit]]
 
 
 def search_single_parameter(
@@ -66,34 +144,40 @@ def search_single_parameter(
     y: np.ndarray,
     parameter: str,
     config: SearchConfig = DEFAULT_SEARCH,
+    backend: "ModelSearchBackend | None" = None,
 ) -> Model:
     """Best single-parameter PMNF model of measurements ``y(x)``."""
+    backend = backend or default_model_backend()
     X = np.asarray(x, dtype=float).reshape(-1, 1)
     y = np.asarray(y, dtype=float)
     params = (parameter,)
+    floor = _rss_floor(y)
     best = fit_constant(X, y, params)
     candidates = candidate_terms(1, 0, config.i_set, config.j_set)
+    fitted = backend.fit_batch(
+        X,
+        y,
+        params,
+        [(term,) for term in candidates],
+        config.require_nonnegative,
+    )
     fitted_single: list[tuple[TermSpec, Model]] = []
-    for term in candidates:
-        model = fit_hypothesis(
-            X, y, params, (term,), config.require_nonnegative
-        )
+    for term, model in zip(candidates, fitted):
         if model is None:
             continue
         fitted_single.append((term, model))
-        if _better(model, best, config.improvement_threshold):
+        if _better(model, best, config.improvement_threshold, floor):
             best = model
     if config.n_terms >= 2:
         # Restrict pair enumeration to the most promising single terms so
         # the search stays near Extra-P's "under a thousand" hypotheses.
-        fitted_single.sort(key=lambda tm: tm[1].stats.rss)
-        shortlist = [t for t, _ in fitted_single[:16]]
-        for t1, t2 in combinations(shortlist, 2):
-            model = fit_hypothesis(
-                X, y, params, (t1, t2), config.require_nonnegative
-            )
+        shortlist = _shortlist(fitted_single, floor=floor)
+        pairs = list(combinations(shortlist, 2))
+        for model in backend.fit_batch(
+            X, y, params, pairs, config.require_nonnegative
+        ):
             if model is not None and _better(
-                model, best, config.improvement_threshold
+                model, best, config.improvement_threshold, floor
             ):
                 best = model
     return best
@@ -105,18 +189,28 @@ def best_terms_for_parameter(
     parameter: str,
     config: SearchConfig = DEFAULT_SEARCH,
     top_k: int = 3,
+    backend: "ModelSearchBackend | None" = None,
 ) -> list[TermSpec]:
     """The strongest single-parameter candidate terms (for the
-    multi-parameter heuristic).  Always includes the best model's terms."""
+    multi-parameter heuristic).  Always includes the best model's terms.
+    Ranked by (RSS, exponents) so ties resolve deterministically."""
+    backend = backend or default_model_backend()
     X = np.asarray(x, dtype=float).reshape(-1, 1)
     y = np.asarray(y, dtype=float)
     params = (parameter,)
-    scored: list[tuple[float, TermSpec]] = []
-    for term in candidate_terms(1, 0, config.i_set, config.j_set):
-        model = fit_hypothesis(
-            X, y, params, (term,), config.require_nonnegative
-        )
-        if model is not None:
-            scored.append((model.stats.rss, term))
-    scored.sort(key=lambda st: st[0])
-    return [term for _rss, term in scored[:top_k]]
+    candidates = candidate_terms(1, 0, config.i_set, config.j_set)
+    fitted = backend.fit_batch(
+        X,
+        y,
+        params,
+        [(term,) for term in candidates],
+        config.require_nonnegative,
+    )
+    floor = _rss_floor(y)
+    scored = [
+        (_rank_rss(model.stats.rss, floor), term.exponents, term)
+        for term, model in zip(candidates, fitted)
+        if model is not None
+    ]
+    scored.sort(key=lambda ste: (ste[0], ste[1]))
+    return [term for _rss, _exp, term in scored[:top_k]]

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from functools import lru_cache
 
 import numpy as np
 
@@ -140,17 +141,53 @@ def product_term(terms: "list[TermSpec]") -> TermSpec:
     return TermSpec(tuple((i, int(j)) for i, j in exps))
 
 
-def candidate_terms(
-    n_params: int,
-    param_index: int,
-    i_set: tuple = DEFAULT_I,
-    j_set: tuple = DEFAULT_J,
-) -> list[TermSpec]:
-    """All single-parameter candidate terms for one parameter."""
+def evaluate_term_columns(
+    X: np.ndarray, terms: "tuple[TermSpec, ...] | list[TermSpec]"
+) -> np.ndarray:
+    """Column matrix ``(n_points, len(terms))`` of term values on *X*.
+
+    Each *unique* term (by exponent tuple) is evaluated exactly once and
+    its column shared — the batched model-search backend and
+    :meth:`Model.predict <repro.modeling.hypothesis.Model.predict>` both
+    build their designs through this helper, so fitted and predicted
+    columns are bit-identical.
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    out = np.empty((X.shape[0], len(terms)))
+    cache: dict[tuple, np.ndarray] = {}
+    for idx, term in enumerate(terms):
+        col = cache.get(term.exponents)
+        if col is None:
+            col = term.evaluate(X)
+            cache[term.exponents] = col
+        out[:, idx] = col
+    return out
+
+
+@lru_cache(maxsize=64)
+def _candidate_terms_cached(
+    n_params: int, param_index: int, i_set: tuple, j_set: tuple
+) -> tuple[TermSpec, ...]:
     out: list[TermSpec] = []
     for i in i_set:
         for j in j_set:
             if float(i) == 0 and j == 0:
                 continue  # the constant is always present separately
             out.append(single_param_term(param_index, n_params, float(i), j))
-    return out
+    return tuple(out)
+
+
+def candidate_terms(
+    n_params: int,
+    param_index: int,
+    i_set: tuple = DEFAULT_I,
+    j_set: tuple = DEFAULT_J,
+) -> list[TermSpec]:
+    """All single-parameter candidate terms for one parameter.
+
+    Memoized on the exponent sets: the search calls this once per
+    parameter per fitted function, and the term set never changes within
+    a search configuration."""
+    return list(_candidate_terms_cached(n_params, param_index, i_set, j_set))

@@ -3,14 +3,16 @@
 Experiment frameworks live or die by how new components are added:
 benchbuild registers projects and experiments by declaration, not by
 editing a central dict.  This module provides the same mechanism for the
-five pluggable component kinds of the repro pipeline:
+six pluggable component kinds of the repro pipeline:
 
 * **workloads** (``@register_workload``) — modelable applications;
 * **engines** (``@register_engine``) — execution engines (tree/compiled);
 * **noise models** (``@register_noise``) — measurement-noise generators;
 * **contention models** (``@register_contention``) — co-location slowdown
   laws;
-* **designs** (``@register_design``) — experiment-design strategies.
+* **designs** (``@register_design``) — experiment-design strategies;
+* **model-search backends** (``@register_model_backend``) — PMNF
+  hypothesis-fitting strategies (loop reference vs batched LAPACK).
 
 The bundled components self-register when their defining modules are
 imported; :func:`load_builtin_components` imports them all so CLI commands
@@ -156,12 +158,16 @@ NOISE_REGISTRY = Registry("noise model")
 CONTENTION_REGISTRY = Registry("contention model")
 #: Experiment-design strategies consumed by the campaign design stage.
 DESIGN_REGISTRY = Registry("design strategy")
+#: Model-search backends consumed by :class:`repro.modeling.Modeler`
+#: (``loop`` reference vs ``batched`` stacked-LAPACK implementation).
+MODEL_BACKEND_REGISTRY = Registry("model-search backend")
 
 register_workload = WORKLOAD_REGISTRY.register
 register_engine = ENGINE_REGISTRY.register
 register_noise = NOISE_REGISTRY.register
 register_contention = CONTENTION_REGISTRY.register
 register_design = DESIGN_REGISTRY.register
+register_model_backend = MODEL_BACKEND_REGISTRY.register
 
 
 #: Modules whose import populates the registries with bundled components.
@@ -170,6 +176,7 @@ _BUILTIN_MODULES = (
     "repro.measure.noise",  # none + gaussian noise
     "repro.mpisim.contention",  # none/logquad/bandwidth contention
     "repro.core.experiment_design",  # reduced/full-factorial/one-at-a-time
+    "repro.modeling.backends",  # loop + batched model-search backends
     "repro.apps.lulesh",
     "repro.apps.milc",
     "repro.apps.synthetic",
@@ -192,6 +199,7 @@ __all__ = [
     "CONTENTION_REGISTRY",
     "DESIGN_REGISTRY",
     "ENGINE_REGISTRY",
+    "MODEL_BACKEND_REGISTRY",
     "NOISE_REGISTRY",
     "Registry",
     "RegistryEntry",
@@ -200,6 +208,7 @@ __all__ = [
     "register_contention",
     "register_design",
     "register_engine",
+    "register_model_backend",
     "register_noise",
     "register_workload",
 ]

@@ -406,3 +406,69 @@ class TestCampaignSpec:
     def test_missing_spec_file_is_spec_error(self, tmp_path):
         with pytest.raises(CampaignSpecError):
             Campaign.from_toml(tmp_path / "nope.toml")
+
+
+class TestModelBackendThreading:
+    """The model-search backend choice: spec key, fingerprints, resume."""
+
+    def base_spec(self) -> dict:
+        return {
+            "app": "synthetic",
+            "parameters": {"p": [2, 4], "s": [3, 5]},
+            "repetitions": 2,
+            "seed": 7,
+        }
+
+    def test_spec_key_accepted(self):
+        spec = self.base_spec()
+        spec["model_backend"] = "loop"
+        campaign = Campaign.from_spec(spec)
+        assert campaign.model_backend == "loop"
+
+    def test_spec_default_is_none(self):
+        assert Campaign.from_spec(self.base_spec()).model_backend is None
+
+    def test_unknown_backend_rejected_with_valid_names(self):
+        spec = self.base_spec()
+        spec["model_backend"] = "gpu"
+        with pytest.raises(RegistryError) as err:
+            Campaign.from_spec(spec)
+        assert "batched" in str(err.value) and "loop" in str(err.value)
+
+    def test_backends_select_identical_models(self):
+        loop = synthetic_campaign(model_backend="loop").run()
+        batched = synthetic_campaign(model_backend="batched").run()
+        assert set(loop.models) == set(batched.models)
+        for fn in loop.models:
+            assert (
+                loop.models[fn].hybrid.terms
+                == batched.models[fn].hybrid.terms
+            )
+            assert (
+                loop.models[fn].hybrid.metadata
+                == batched.models[fn].hybrid.metadata
+            )
+
+    def test_backend_participates_in_model_fingerprint(self, tmp_path):
+        a = synthetic_campaign(workspace=tmp_path / "ws")
+        a.run()
+        b = synthetic_campaign(
+            workspace=tmp_path / "ws", model_backend="loop"
+        )
+        b.run()
+        # Same measurements, different search backend: everything up to
+        # the model stage resumes, the model fit (and its dependents)
+        # recompute under the new backend identity.
+        assert "measure" in b.resumed_stages
+        assert "model" in b.computed_stages
+        assert a.fingerprints["model"] != b.fingerprints["model"]
+        assert a.fingerprints["measure"] == b.fingerprints["measure"]
+
+    def test_modeler_backend_field_in_fingerprint(self, tmp_path):
+        from repro.modeling import Modeler
+
+        a = synthetic_campaign()
+        b = synthetic_campaign(modeler=Modeler(backend="loop"))
+        a.run()
+        b.run()
+        assert a.fingerprints["model"] != b.fingerprints["model"]

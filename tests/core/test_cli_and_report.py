@@ -112,6 +112,36 @@ class TestCLICommands:
         out = capsys.readouterr().out
         assert "hybrid model" in out
 
+    def test_model_search_backend_flag(self, capsys):
+        """--search-backend loop|batched: both run and agree on output."""
+        outputs = []
+        for backend in ("loop", "batched"):
+            rc = main(
+                [
+                    "model",
+                    "synthetic",
+                    "--values", "p=2,4", "s=3,5",
+                    "--repetitions", "2",
+                    "--search-backend", backend,
+                ]
+            )
+            assert rc == 0
+            outputs.append(capsys.readouterr().out)
+        # Decision identity surfaces in the CLI: identical model report.
+        assert outputs[0] == outputs[1]
+
+    def test_model_rejects_unknown_search_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "model",
+                    "synthetic",
+                    "--values", "p=2,4", "s=3,5",
+                    "--search-backend", "gpu",
+                ]
+            )
+        assert "loop" in capsys.readouterr().err
+
     def test_contention_small(self, capsys):
         rc = main(
             [
