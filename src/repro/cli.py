@@ -9,6 +9,8 @@ Commands mirror the pipeline stages on the registered workloads:
 * ``run <spec.toml>`` — a declarative campaign with a persistent,
   resumable artifact workspace;
 * ``apps`` / ``stages`` — list registered workloads and pipeline stages;
+* ``engines`` — list registered execution engines with their capability
+  flags (``supports_taint``, ``supports_batch``);
 * ``contention <app> --r 2,4,8,16`` — ranks-per-node study (C1);
 * ``segments <app> --p 4,8,32`` — branch-direction validation (C2);
 * ``sweep <app> --values p=2,4 s=4,8 --jobs 4`` — measurement stage only,
@@ -21,7 +23,8 @@ and ``synthetic``, plus anything user code registers via
 experiments and ``--cache-dir DIR`` to reuse already-measured
 configurations across invocations; results are bit-identical for every
 jobs count.  Measurement commands take ``--engine`` to pick a registered
-execution engine (default: ``compiled``, the IR-to-closure compiler);
+execution engine (default: ``compiled``, the IR-to-closure compiler;
+``vectorized`` runs the whole sweep as tensor batches, bit-identically);
 ``taint``/``run``/``model`` take ``--taint-engine`` to pick the engine
 executing the dynamic taint stage (default ``compiled`` as well) — the
 built-in engines are bit-identical in both roles.  ``run``/``model``
@@ -250,6 +253,18 @@ def cmd_apps(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_engines(args: argparse.Namespace) -> int:
+    for entry in ENGINE_REGISTRY:
+        flags = [
+            name
+            for name in ("supports_taint", "supports_batch")
+            if entry.metadata.get(name)
+        ]
+        extra = f"  [{', '.join(flags)}]" if flags else ""
+        print(f"{entry.name:<12} {entry.description}{extra}")
+    return 0
+
+
 def cmd_stages(args: argparse.Namespace) -> int:
     for stage in STAGES.values():
         inputs = ", ".join(stage.inputs) if stage.inputs else "-"
@@ -292,6 +307,7 @@ def cmd_contention(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    from .measure.batched import BatchedExperimentRunner
     from .measure.experiment import full_factorial
     from .measure.instrumentation import full_plan
     from .measure.parallel import ParallelExperimentRunner
@@ -300,7 +316,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     workload = _workload(args.app, tuple(values))
     design = full_factorial(values)
     _check_app_supports(workload, design[0], args.app)
-    runner = ParallelExperimentRunner(
+    if ENGINE_REGISTRY.entry(args.engine).metadata.get("supports_batch"):
+        runner_cls = BatchedExperimentRunner  # batch-axis sharding
+    else:
+        runner_cls = ParallelExperimentRunner
+    runner = runner_cls(
         workload=workload,
         plan=full_plan(workload.program()),
         repetitions=args.repetitions,
@@ -486,6 +506,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("apps", help="list registered workloads")
     p.set_defaults(func=cmd_apps)
+
+    p = sub.add_parser(
+        "engines",
+        help="list registered execution engines with capability flags "
+        "(supports_taint, supports_batch)",
+    )
+    p.set_defaults(func=cmd_engines)
 
     p = sub.add_parser(
         "stages", help="list the campaign stage graph (name <- inputs)"

@@ -97,7 +97,8 @@ class PerfTaintPipeline:
     n_jobs: int = 1
     #: Run-cache directory; None disables caching.
     cache_dir: str | None = None
-    #: Execution engine for the measurement stage ("compiled" | "tree").
+    #: Execution engine for the measurement stage ("compiled" | "tree" |
+    #: "vectorized" — batch-capable engines route to the batched runner).
     engine: str = DEFAULT_MEASUREMENT_ENGINE
     #: Execution engine for the taint stage.  Any registered engine whose
     #: entry declares ``supports_taint``; the built-ins are bit-identical

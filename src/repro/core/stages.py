@@ -50,6 +50,7 @@ from ..measure.instrumentation import (
     none_plan,
     taint_filter_plan,
 )
+from ..measure.batched import BatchedExperimentRunner
 from ..measure.io import program_hash
 from ..measure.noise import GaussianNoise, NoiseModel
 from ..measure.parallel import ParallelExperimentRunner, workload_repr
@@ -198,10 +199,27 @@ def run_measure_stage(
 ) -> tuple[Measurements, dict[ConfigKey, ProfileResult]]:
     """Run the instrumented experiments.
 
-    Uses the process-pool runner when ``n_jobs > 1`` or a run cache is
-    configured; the plain serial runner otherwise.  Both produce
+    A batch-capable *engine* (``supports_batch`` registry metadata, e.g.
+    ``vectorized``) routes to the whole-sweep
+    :class:`~repro.measure.batched.BatchedExperimentRunner`, which owns
+    its own ``n_jobs`` (batch-axis sharding) and run cache.  Otherwise
+    the process-pool runner handles ``n_jobs > 1`` or a run cache, and
+    the plain serial runner everything else.  All three produce
     bit-identical measurements.
     """
+    if ENGINE_REGISTRY.entry(engine).metadata.get("supports_batch"):
+        runner = BatchedExperimentRunner(
+            workload=workload,
+            plan=plan,
+            noise=noise,
+            contention=contention,
+            repetitions=repetitions,
+            seed=seed,
+            engine=engine,
+            n_jobs=n_jobs,
+            cache_dir=cache_dir,
+        )
+        return runner.run(design)
     if n_jobs > 1 or cache_dir is not None:
         runner = ParallelExperimentRunner(
             workload=workload,

@@ -40,11 +40,14 @@ from .runtime import (
 from .shadowjit import CompiledShadowEngine
 from .shadowtree import ShadowInterpreter
 from .values import Array, Scalar, Value, truthy
+from .vectorize import BatchedMetrics, VectorFallback, VectorizedEngine
 
 #: The tree-walking engine (subclassable per-node hooks).
 ENGINE_TREE = "tree"
 #: The closure-compiling engine (measurement + taint hot paths).
 ENGINE_COMPILED = "compiled"
+#: The batched tensor engine (whole-sweep measurement hot path).
+ENGINE_VECTORIZED = "vectorized"
 #: Built-in engine identifiers, in preference order for measurement.
 #: The full (user-extensible) set lives in the engine registry.
 ENGINES: tuple[str, ...] = (ENGINE_COMPILED, ENGINE_TREE)
@@ -61,6 +64,12 @@ register_engine(
     supports_taint=True,
     shadow_factory=ShadowInterpreter,
 )(Interpreter)
+register_engine(
+    ENGINE_VECTORIZED,
+    help="batched tensor engine (one pass per sweep, bit-identical lanes)",
+    supports_taint=False,
+    supports_batch=True,
+)(VectorizedEngine)
 
 #: Engine used by the measurement layer unless a caller overrides it.
 DEFAULT_MEASUREMENT_ENGINE = ENGINE_COMPILED
@@ -68,6 +77,16 @@ DEFAULT_MEASUREMENT_ENGINE = ENGINE_COMPILED
 #: built-ins produce bit-identical TaintReports; the compiled engine is
 #: ~2-4x faster on real programs (see benchmarks/bench_taint_speedup.py).
 DEFAULT_TAINT_ENGINE = ENGINE_COMPILED
+
+
+def batch_capable_engines() -> tuple[str, ...]:
+    """Names of registered engines whose ``run_batch`` executes a whole
+    batch of lanes in one call (``supports_batch`` metadata)."""
+    return tuple(
+        entry.name
+        for entry in ENGINE_REGISTRY
+        if entry.metadata.get("supports_batch")
+    )
 
 
 def shadow_capable_engines() -> tuple[str, ...]:
@@ -168,9 +187,11 @@ __all__ = [
     "DEFAULT_CONFIG",
     "DEFAULT_MEASUREMENT_ENGINE",
     "DEFAULT_TAINT_ENGINE",
+    "BatchedMetrics",
     "ENGINES",
     "ENGINE_COMPILED",
     "ENGINE_TREE",
+    "ENGINE_VECTORIZED",
     "ExecConfig",
     "ExecutionListener",
     "FastPathPlanner",
@@ -188,6 +209,9 @@ __all__ = [
     "ShadowInterpreter",
     "TableRuntime",
     "Value",
+    "VectorFallback",
+    "VectorizedEngine",
+    "batch_capable_engines",
     "leaf_unit_cost",
     "make_engine",
     "shadow_capable_engines",

@@ -1,0 +1,357 @@
+"""Whole-sweep batched measurement: one tensor pass per design.
+
+The scalar runners pay one interpreter execution per configuration (and
+~25us of RNG stream setup per noise sample).  This runner hands the whole
+design to a batch-capable engine (``supports_batch`` registry metadata,
+see :func:`repro.interp.batch_capable_engines`) in one
+:func:`~repro.measure.profiler.profile_run_batch` call, and samples every
+(function, configuration, repetition) noise stream through
+:func:`~repro.measure.noise.perturb_block` — the vectorized twin of the
+scalar ``rng_for`` derivation.
+
+Bit-identity contract: for any design, batch size, and worker count the
+returned :class:`~repro.measure.experiment.Measurements` equal the serial
+:class:`~repro.measure.experiment.ExperimentRunner`'s bit for bit.  The
+engine guarantees per-lane profile identity; noise streams depend only on
+``(seed, function, key, repetition)``; and results merge in canonical
+design order (:func:`~repro.measure.experiment.merge_results_dense`).
+
+Composition with the process-pool runner: ``n_jobs > 1`` shards the
+*batch axis* across workers — each worker executes one contiguous chunk
+of configurations as its own batch, reusing the
+:class:`~repro.measure.parallel.WorkloadSpec` rebuild machinery so no
+live workload objects cross process boundaries.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import pickle
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import RegistryError
+from ..interp import batch_capable_engines
+from ..mpisim.contention import ContentionModel, NoContention
+from ..registry import ENGINE_REGISTRY
+from .experiment import (
+    ConfigKey,
+    ConfigRunResult,
+    Measurements,
+    RunSetup,
+    Workload,
+    config_key,
+    merge_results_dense,
+)
+from .instrumentation import InstrumentationPlan
+from .io import RunCache, program_hash, run_fingerprint
+from .noise import GaussianNoise, NoiseModel, perturb_block
+from .parallel import RunStats, _workload_for, spec_of, workload_repr
+from .profiler import APP_KEY, ProfileResult, profile_run_batch
+
+#: Default batched engine (the only built-in with ``supports_batch``).
+DEFAULT_BATCH_ENGINE = "vectorized"
+
+
+def require_batch_engine(engine: str) -> None:
+    """Raise :class:`~repro.errors.RegistryError` unless *engine* is
+    registered as batch-capable (instead of failing deep in the run)."""
+    entry = ENGINE_REGISTRY.entry(engine)
+    if not entry.metadata.get("supports_batch"):
+        capable = ", ".join(batch_capable_engines()) or "<none>"
+        raise RegistryError(
+            f"engine '{engine}' cannot execute batches "
+            f"(batch-capable engines: {capable}; "
+            "see `repro engines` for the full capability listing)"
+        )
+
+
+def run_batch_configurations(
+    program,
+    setups: Sequence[RunSetup],
+    keys: Sequence[ConfigKey],
+    plan: InstrumentationPlan,
+    noise: NoiseModel,
+    contention: ContentionModel,
+    repetitions: int,
+    seed: int,
+    engine: str = DEFAULT_BATCH_ENGINE,
+) -> list[ConfigRunResult]:
+    """Batched twin of :func:`~repro.measure.experiment.run_configuration`.
+
+    One profiled tensor pass over all *setups* (which must share
+    ``exec_config`` and ``entry`` — the engine compiles one program
+    against one execution config), then one noise block covering every
+    (function, key, repetition) triple of the whole chunk.
+    """
+    factors = [contention.factor(s.ranks_per_node) for s in setups]
+    profiles = profile_run_batch(
+        program,
+        [s.args for s in setups],
+        plan,
+        runtimes=[s.runtime for s in setups],
+        exec_config=setups[0].exec_config,
+        contention_factors=factors,
+        entry=setups[0].entry,
+        engine=engine,
+    )
+    results: list[ConfigRunResult] = []
+    items: list[tuple[str, ConfigKey, float]] = []
+    spans: list[tuple[int, int]] = []
+    for lane, profile in enumerate(profiles):
+        result = ConfigRunResult(key=keys[lane], profile=profile)
+        start = len(items)
+        for name, node in profile.flat().items():
+            if not name:
+                continue
+            result.calls[name] = node.calls
+            items.append((name, keys[lane], node.time(factors[lane])))
+        items.append((APP_KEY, keys[lane], profile.total_time()))
+        spans.append((start, len(items)))
+        results.append(result)
+    samples = perturb_block(noise, seed, items, repetitions)
+    for lane, (start, stop) in enumerate(spans):
+        result = results[lane]
+        for (name, _key, _base), values in zip(
+            items[start:stop], samples[start:stop]
+        ):
+            result.samples[name] = values
+    return results
+
+
+# ----------------------------------------------------------------------
+# worker side
+
+
+@dataclass(frozen=True)
+class _BatchTask:
+    """One contiguous chunk of the design, shipped to a worker."""
+
+    indices: tuple[int, ...]
+    spec_blob: bytes
+    configs: tuple[tuple[tuple[str, float], ...], ...]
+    plan: InstrumentationPlan
+    noise: NoiseModel
+    contention: ContentionModel
+    repetitions: int
+    seed: int
+    keys: tuple[ConfigKey, ...]
+    engine: str = DEFAULT_BATCH_ENGINE
+
+
+def _run_batch_task(
+    task: _BatchTask,
+) -> list[tuple[int, ConfigRunResult]]:
+    """Worker entry point: rebuild the workload, run one chunk batched."""
+    workload = _workload_for(task.spec_blob)
+    setups = [workload.setup(dict(config)) for config in task.configs]
+    results = run_batch_configurations(
+        workload.program(),
+        setups,
+        task.keys,
+        task.plan,
+        task.noise,
+        task.contention,
+        task.repetitions,
+        task.seed,
+        engine=task.engine,
+    )
+    return list(zip(task.indices, results))
+
+
+# ----------------------------------------------------------------------
+# driver side
+
+
+@dataclass
+class BatchedExperimentRunner:
+    """Runs a whole design as tensor batches on a batch-capable engine.
+
+    Drop-in equivalent of the serial and parallel runners: bit-identical
+    measurements for every ``batch_size`` and ``n_jobs``.  ``batch_size``
+    caps lanes per engine pass (``None`` = whole design in one pass;
+    with ``n_jobs > 1`` the default shards the design evenly across
+    workers).  Configurations whose setups disagree on ``exec_config`` or
+    ``entry`` are split into per-group batches automatically.
+    """
+
+    workload: Workload
+    plan: InstrumentationPlan
+    noise: NoiseModel = field(default_factory=GaussianNoise)
+    contention: ContentionModel = field(default_factory=NoContention)
+    repetitions: int = 5
+    seed: int = 0
+    engine: str = DEFAULT_BATCH_ENGINE
+    batch_size: int | None = None
+    n_jobs: int = 1
+    cache_dir: str | pathlib.Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        require_batch_engine(self.engine)
+        self._cache = (
+            RunCache(self.cache_dir) if self.cache_dir is not None else None
+        )
+        self.last_stats = RunStats()
+
+    # -- cache keys --------------------------------------------------------
+
+    def _fingerprint(
+        self,
+        program_digest: str,
+        config: Mapping[str, float],
+        setup: RunSetup,
+        workload_repr: str,
+    ) -> str:
+        # Identical construction to ParallelExperimentRunner._fingerprint:
+        # the engine name participates, so caches populated by scalar
+        # engines are never served to batched runs or vice versa (results
+        # are bit-identical, but provenance must stay honest).
+        exec_repr = ";".join(
+            [
+                f"args={sorted(setup.args.items())}",
+                f"ranks_per_node={setup.ranks_per_node}",
+                f"exec={setup.exec_config!r}",
+                f"runtime={getattr(setup.runtime, 'config', None)!r}",
+                f"entry={setup.entry!r}",
+            ]
+        )
+        return run_fingerprint(
+            program_digest,
+            config,
+            self.plan,
+            exec_repr=exec_repr,
+            noise_repr=repr(self.noise),
+            contention_repr=repr(self.contention),
+            repetitions=self.repetitions,
+            seed=self.seed,
+            workload_repr=workload_repr,
+            engine=self.engine,
+        )
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self, design: Iterable[Mapping[str, float]]
+    ) -> tuple[Measurements, dict[ConfigKey, ProfileResult]]:
+        """Execute the design; return measurements and per-config profiles."""
+        configs = [dict(c) for c in design]
+        parameters = tuple(self.workload.parameters)
+        program = self.workload.program()
+        keys = [config_key(parameters, c) for c in configs]
+        setups = [self.workload.setup(c) for c in configs]
+
+        results: list[ConfigRunResult | None] = [None] * len(configs)
+        pending: list[int] = []
+        fingerprints: list[str | None] = [None] * len(configs)
+        if self._cache is not None:
+            digest = program_hash(program)
+            wl_repr = workload_repr(self.workload)
+        for index in range(len(configs)):
+            if self._cache is not None:
+                fingerprints[index] = self._fingerprint(
+                    digest, configs[index], setups[index], wl_repr
+                )
+                hit = self._cache.get(fingerprints[index])
+                if hit is not None:
+                    results[index] = hit
+                    continue
+            pending.append(index)
+
+        if pending:
+            chunks = self._chunks(pending, setups)
+            if self.n_jobs == 1:
+                for chunk in chunks:
+                    chunk_results = run_batch_configurations(
+                        program,
+                        [setups[i] for i in chunk],
+                        [keys[i] for i in chunk],
+                        self.plan,
+                        self.noise,
+                        self.contention,
+                        self.repetitions,
+                        self.seed,
+                        engine=self.engine,
+                    )
+                    for i, result in zip(chunk, chunk_results):
+                        results[i] = result
+            else:
+                self._run_pool(configs, keys, chunks, results)
+            if self._cache is not None:
+                for index in pending:
+                    self._cache.put(fingerprints[index], results[index])
+
+        self.last_stats = RunStats(
+            executed=sum(1 for r in results if not r.cached),
+            cached=sum(1 for r in results if r.cached),
+        )
+        return merge_results_dense(parameters, results)
+
+    def _chunks(
+        self, pending: Sequence[int], setups: Sequence[RunSetup]
+    ) -> list[list[int]]:
+        """Split pending indices into batchable chunks.
+
+        Lanes of one engine pass must share ``exec_config`` and
+        ``entry``; within each such group, ``batch_size`` (or an even
+        ``n_jobs`` split) bounds the chunk length.
+        """
+        groups: list[tuple[tuple, list[int]]] = []
+        for index in pending:
+            marker = (setups[index].exec_config, setups[index].entry)
+            if groups and groups[-1][0] == marker:
+                groups[-1][1].append(index)
+            else:
+                groups.append((marker, [index]))
+        size = self.batch_size
+        chunks: list[list[int]] = []
+        for _marker, members in groups:
+            limit = size
+            if limit is None and self.n_jobs > 1:
+                limit = max(1, -(-len(members) // self.n_jobs))
+            if limit is None:
+                chunks.append(members)
+            else:
+                for at in range(0, len(members), limit):
+                    chunks.append(members[at : at + limit])
+        return chunks
+
+    def _run_pool(
+        self,
+        configs: Sequence[Mapping[str, float]],
+        keys: Sequence[ConfigKey],
+        chunks: Sequence[Sequence[int]],
+        results: list[ConfigRunResult | None],
+    ) -> None:
+        spec_blob = pickle.dumps(spec_of(self.workload))
+        tasks = [
+            _BatchTask(
+                indices=tuple(chunk),
+                spec_blob=spec_blob,
+                configs=tuple(
+                    tuple(sorted(configs[i].items())) for i in chunk
+                ),
+                plan=self.plan,
+                noise=self.noise,
+                contention=self.contention,
+                repetitions=self.repetitions,
+                seed=self.seed,
+                keys=tuple(keys[i] for i in chunk),
+                engine=self.engine,
+            )
+            for chunk in chunks
+        ]
+        workers = min(self.n_jobs, len(tasks))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_run_batch_task, task) for task in tasks}
+            while futures:
+                done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    for index, result in future.result():
+                        results[index] = result

@@ -296,6 +296,32 @@ def merge_results(
     return measurements, profiles
 
 
+def merge_results_dense(
+    parameters: tuple[str, ...],
+    results: Sequence[ConfigRunResult],
+) -> tuple[Measurements, dict[ConfigKey, ProfileResult]]:
+    """:func:`merge_results` for whole-design result sets.
+
+    When every configuration key appears exactly once — the invariant of
+    canonical designs, and what the batched runner delivers — each
+    (function, key) repetition list can be assigned wholesale instead of
+    being grown ``append``-by-``append`` through :meth:`Measurements.add`
+    (one dict probe per sample, ~repetitions x configs x functions of
+    them per sweep).  Same output, one probe per (function, key).
+    """
+    measurements = Measurements(parameters=parameters)
+    profiles: dict[ConfigKey, ProfileResult] = {}
+    data = measurements.data
+    calls = measurements.calls
+    for result in results:
+        profiles[result.key] = result.profile
+        for name, values in result.samples.items():
+            data.setdefault(name, {})[result.key] = list(values)
+        for name, count in result.calls.items():
+            calls.setdefault(name, {})[result.key] = count
+    return measurements, profiles
+
+
 @dataclass
 class ExperimentRunner:
     """Runs a design against a workload under one instrumentation plan."""

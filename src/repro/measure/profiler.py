@@ -14,7 +14,9 @@ when querying times: ``time = compute + memory * factor + comm + overhead``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Sequence
+
+import numpy as np
 
 from ..interp import DEFAULT_MEASUREMENT_ENGINE, make_engine
 from ..interp.config import DEFAULT_CONFIG, ExecConfig
@@ -191,6 +193,214 @@ class ScorePListener(NullListener):
             node.memory += count * unit_memory
 
 
+class _BatchedNode:
+    """Per-call-path accumulators over the whole batch.
+
+    One ``(B,)`` array per :class:`ProfileNode` field, plus the lane set
+    that has touched the path (scalar listeners create a node the moment
+    any event lands on its path, so per-lane node existence must follow
+    the event lane sets, not the accumulated values) and the per-lane
+    first-touch sequence number (scalar node dicts are insertion-ordered
+    by first touch, and :meth:`ProfileResult.flat` folds floats in that
+    order — reproducing the order reproduces the rounding).
+    """
+
+    __slots__ = (
+        "calls", "compute", "memory", "comm", "overhead",
+        "touched", "first_seq", "complete",
+    )
+
+    def __init__(self, batch: int) -> None:
+        self.calls = np.zeros(batch, dtype=np.int64)
+        self.compute = np.zeros(batch)
+        self.memory = np.zeros(batch)
+        self.comm = np.zeros(batch)
+        self.overhead = np.zeros(batch)
+        self.touched = np.zeros(batch, dtype=bool)
+        self.first_seq = np.zeros(batch, dtype=np.int64)
+        #: Every lane has touched this path — first-touch bookkeeping is
+        #: over, so the per-event hot path can skip it entirely.
+        self.complete = False
+
+
+class BatchedScorePListener:
+    """Vector-protocol sibling of :class:`ScorePListener`.
+
+    One instance profiles every lane of a batched run at once: the
+    engine's vector event stream carries ``(amount, idx)`` pairs where
+    *idx* is the sorted active-lane set (``None`` = all lanes) and vector
+    amounts are compressed to it.  Call-path structure is shared by all
+    lanes active at an event (the engine emits events at program points),
+    so a single path stack suffices; accumulation lands on ``(B,)``
+    arrays.  :meth:`lane_nodes` then slices out any lane's node dict,
+    bit-identical to what a scalar :class:`ScorePListener` would have
+    produced for that lane alone.
+    """
+
+    def __init__(self, plan: InstrumentationPlan, batch: int) -> None:
+        self.plan = plan
+        self.batch = batch
+        self.nodes: dict[CallPath, _BatchedNode] = {}
+        self._stack: list[tuple[str, bool]] = []
+        self._visible_path: CallPath = ()
+        self._seq = 0
+        self._half = plan.overhead_per_call / 2.0
+        self._visible_cache: dict[str, bool] = {}
+        #: (function, loop_id) -> (B,) iteration counts, from the
+        #: engine's loop events (stands in for per-lane RunResult metrics
+        #: when the engine runs with ``collect_metrics=False``).
+        self._loops: dict[tuple[str, int], np.ndarray] = {}
+
+    # -- helpers -----------------------------------------------------------
+
+    def _is_visible(self, function: str) -> bool:
+        visible = self._visible_cache.get(function)
+        if visible is None:
+            visible = self.plan.is_instrumented(
+                function
+            ) or function.startswith("MPI_")
+            self._visible_cache[function] = visible
+        return visible
+
+    def _node(self, path: CallPath, idx) -> _BatchedNode:
+        node = self.nodes.get(path)
+        if node is None:
+            node = _BatchedNode(self.batch)
+            self.nodes[path] = node
+        if node.complete:
+            return node
+        touched = node.touched
+        if idx is None:
+            fresh = ~touched
+            if fresh.any():
+                node.first_seq[fresh] = self._seq
+                self._seq += 1
+            touched[:] = True
+            node.complete = True
+        else:
+            fresh = ~touched[idx]
+            if fresh.any():
+                lanes = idx[fresh]
+                node.first_seq[lanes] = self._seq
+                self._seq += 1
+                touched[lanes] = True
+                node.complete = bool(touched.all())
+        return node
+
+    @staticmethod
+    def _add(target: np.ndarray, amount, idx) -> None:
+        # idx lane sets are sorted and duplicate-free, so fancy-index
+        # accumulation is exact (no np.add.at needed).
+        if idx is None:
+            target += amount
+        else:
+            target[idx] += amount
+
+    # -- vector listener protocol ------------------------------------------
+
+    def on_enter(self, function: str, idx) -> None:
+        visible = self._is_visible(function)
+        self._stack.append((function, visible))
+        if visible:
+            half = self._half
+            caller = self._node(self._visible_path, idx)
+            self._add(caller.overhead, half, idx)
+            self._visible_path = self._visible_path + (function,)
+            node = self._node(self._visible_path, idx)
+            self._add(node.calls, 1, idx)
+            self._add(node.overhead, half, idx)
+
+    def on_exit(self, function: str, idx) -> None:
+        if not self._stack:
+            return
+        name, visible = self._stack.pop()
+        if visible:
+            self._visible_path = self._visible_path[:-1]
+
+    def on_cost(self, kind: CostKind, amount, idx) -> None:
+        node = self._node(self._visible_path, idx)
+        if kind is CostKind.COMPUTE:
+            self._add(node.compute, amount, idx)
+        elif kind is CostKind.MEMORY:
+            self._add(node.memory, amount, idx)
+        else:
+            self._add(node.comm, amount, idx)
+
+    def on_loop_iterations(
+        self, function: str, loop_id: int, count, idx
+    ) -> None:
+        counts = self._loops.get((function, loop_id))
+        if counts is None:
+            counts = np.zeros(self.batch, dtype=np.int64)
+            self._loops[(function, loop_id)] = counts
+        delta = (
+            count.astype(np.int64)
+            if isinstance(count, np.ndarray)
+            else int(count)
+        )
+        if idx is None:
+            counts += delta
+        else:
+            counts[idx] += delta
+
+    def on_aggregate_calls(
+        self, callee: str, count, unit_compute: float, unit_memory: float,
+        idx,
+    ) -> None:
+        if self._is_visible(callee):
+            half = self._half
+            caller = self._node(self._visible_path, idx)
+            self._add(caller.overhead, count * half, idx)
+            node = self._node(self._visible_path + (callee,), idx)
+            # counts arrive as float64 lanes from the engine's aggregation
+            # but are exact integers; the calls field stays integral.
+            calls = (
+                count.astype(np.int64)
+                if isinstance(count, np.ndarray)
+                else int(count)
+            )
+            self._add(node.calls, calls, idx)
+            self._add(node.compute, count * unit_compute, idx)
+            self._add(node.memory, count * unit_memory, idx)
+            self._add(node.overhead, count * half, idx)
+        else:
+            node = self._node(self._visible_path, idx)
+            self._add(node.compute, count * unit_compute, idx)
+            self._add(node.memory, count * unit_memory, idx)
+
+    # -- per-lane extraction -----------------------------------------------
+
+    def lane_nodes(self, lane: int) -> dict[CallPath, ProfileNode]:
+        """Lane *lane*'s node dict, in its own first-touch order."""
+        paths = [
+            (int(node.first_seq[lane]), path)
+            for path, node in self.nodes.items()
+            if node.touched[lane]
+        ]
+        paths.sort()
+        out: dict[CallPath, ProfileNode] = {}
+        for _, path in paths:
+            node = self.nodes[path]
+            out[path] = ProfileNode(
+                callpath=path,
+                calls=int(node.calls[lane]),
+                compute=float(node.compute[lane]),
+                memory=float(node.memory[lane]),
+                comm=float(node.comm[lane]),
+                overhead=float(node.overhead[lane]),
+            )
+        return out
+
+    def lane_loop_iterations(self, lane: int) -> dict[tuple[str, int], int]:
+        """Lane *lane*'s loop-iteration counters (zero entries dropped,
+        matching the per-lane metrics collectors)."""
+        return {
+            key: int(counts[lane])
+            for key, counts in self._loops.items()
+            if counts[lane] > 0
+        }
+
+
 def profile_run(
     program: Program,
     args: Mapping[str, Value],
@@ -222,3 +432,70 @@ def profile_run(
         contention_factor=contention_factor,
         loop_iterations=dict(result.metrics.loop_iterations),
     )
+
+
+def profile_run_batch(
+    program: Program,
+    args_list: Sequence[Mapping[str, Value]],
+    plan: InstrumentationPlan,
+    runtimes: Sequence[LibraryRuntime | None] | None = None,
+    exec_config: ExecConfig = DEFAULT_CONFIG,
+    contention_factors: Sequence[float] | None = None,
+    entry: str | None = None,
+    engine: str = "vectorized",
+) -> list[ProfileResult]:
+    """Profile a whole batch of configurations in one tensor pass.
+
+    One :class:`BatchedScorePListener` rides the batched engine's vector
+    event stream; per lane the resulting :class:`ProfileResult` is
+    bit-identical to :func:`profile_run` of that configuration alone.
+    When the program is not batch-eligible (the engine raises
+    :class:`~repro.interp.VectorFallback`) every lane falls back to a
+    scalar compiled-engine :func:`profile_run` — same results, scalar
+    speed.
+    """
+    from ..interp import VectorFallback, make_engine as _make_engine
+    from ..interp.vectorize import VectorizedEngine
+
+    batch = len(args_list)
+    if contention_factors is None:
+        contention_factors = [1.0] * batch
+    if runtimes is None:
+        runtimes = [None] * batch
+    interp = _make_engine(program, engine, config=exec_config)
+    if not isinstance(interp, VectorizedEngine) and not hasattr(
+        interp, "run_batch"
+    ):
+        raise TypeError(f"engine '{engine}' cannot run batches")
+    listener = BatchedScorePListener(plan, batch)
+    try:
+        interp.run_batch(
+            args_list,
+            entry=entry,
+            lane_runtimes=runtimes,
+            vector_listeners=[listener],
+            collect_metrics=False,
+        )
+    except VectorFallback:
+        return [
+            profile_run(
+                program,
+                args_list[lane],
+                plan,
+                runtime=runtimes[lane],
+                exec_config=exec_config,
+                contention_factor=contention_factors[lane],
+                entry=entry,
+                engine=DEFAULT_MEASUREMENT_ENGINE,
+            )
+            for lane in range(batch)
+        ]
+    return [
+        ProfileResult(
+            plan=plan,
+            nodes=listener.lane_nodes(lane),
+            contention_factor=contention_factors[lane],
+            loop_iterations=listener.lane_loop_iterations(lane),
+        )
+        for lane in range(batch)
+    ]

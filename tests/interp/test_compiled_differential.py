@@ -252,6 +252,86 @@ class TestRandomizedDifferential:
         assert tree == compiled
 
 
+def _canon_lane(result, events):
+    """Canonicalize one lane outcome (RunResult or raised error)."""
+    if isinstance(result, Exception):
+        return ("error", type(result).__name__, str(result), tuple(events))
+    return (
+        "ok",
+        result.value,
+        result.steps,
+        dict(result.metrics.totals),
+        {
+            name: (fm.calls, fm.compute, fm.memory, fm.comm)
+            for name, fm in result.metrics.functions.items()
+        },
+        dict(result.metrics.loop_iterations),
+        tuple(events),
+    )
+
+
+class TestVectorizedDifferential:
+    """Vectorized engine ≡ tree/compiled — scalar runs and every lane of
+    every batch width (the license for the batched measurement layer)."""
+
+    @given(
+        program=programs(),
+        a=st.integers(0, 6),
+        b=st.integers(-2, 6),
+        fast_loops=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_scalar_run_bit_identical(self, program, a, b, fast_loops):
+        config = ExecConfig(fast_loops=fast_loops, step_limit=20_000)
+        tree = run_one(program, "tree", {"a": a, "b": b}, config)
+        vectorized = run_one(program, "vectorized", {"a": a, "b": b}, config)
+        assert tree == vectorized, (
+            f"engines diverged\ntree:       {tree!r}\n"
+            f"vectorized: {vectorized!r}"
+        )
+
+    @given(program=programs())
+    @settings(max_examples=60, deadline=None)
+    def test_batch_lanes_bit_identical(self, program):
+        """Widths 1 and 7, divergent per-lane arguments: every lane's
+        result, metrics, and event stream must equal a dedicated
+        compiled-engine run of that lane — including raised errors."""
+        from repro.interp import CompiledEngine, VectorizedEngine
+
+        config = ExecConfig(step_limit=20_000)
+        for width in (1, 7):
+            args_list = [{"a": 3 + lane, "b": 4 - lane} for lane in range(width)]
+            reference = []
+            for args in args_list:
+                listener = RecordingListener()
+                engine = CompiledEngine(
+                    program,
+                    runtime=_runtime(),
+                    config=config,
+                    listener=listener,
+                )
+                try:
+                    outcome = engine.run(args)
+                except Exception as exc:  # noqa: BLE001 - error parity
+                    outcome = exc
+                reference.append(_canon_lane(outcome, listener.events))
+            listeners = [RecordingListener() for _ in range(width)]
+            batch = VectorizedEngine(program, config=config).run_batch(
+                args_list,
+                lane_runtimes=[_runtime() for _ in range(width)],
+                lane_listeners=listeners,
+                collect_errors=True,
+            )
+            got = [
+                _canon_lane(outcome, listeners[lane].events)
+                for lane, outcome in enumerate(batch)
+            ]
+            assert got == reference, (
+                f"lanes diverged at width {width}\n"
+                f"reference: {reference!r}\ngot:       {got!r}"
+            )
+
+
 def run_taint(program, engine: str, args, config: ExecConfig, policy=None):
     """Run taint analysis on *engine*; canonicalize outcome or error."""
     from repro.taint.engine import TaintEngine
@@ -362,7 +442,7 @@ class TestAppDifferential:
         program = workload.program()
         plan = full_plan(program)
         profiles = []
-        for engine in ("tree", "compiled"):
+        for engine in ("tree", "compiled", "vectorized"):
             setup = workload.setup(config)
             profiles.append(
                 profile_run(
@@ -375,9 +455,11 @@ class TestAppDifferential:
                     engine=engine,
                 )
             )
-        tree, compiled = profiles
+        tree, compiled, vectorized = profiles
         assert profile_to_dict(tree) == profile_to_dict(compiled)
         assert tree.total_time() == compiled.total_time()
+        assert profile_to_dict(tree) == profile_to_dict(vectorized)
+        assert tree.total_time() == vectorized.total_time()
 
     def test_lulesh(self):
         from repro.apps.lulesh import LuleshWorkload
