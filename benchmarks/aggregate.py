@@ -47,6 +47,7 @@ HEADLINE_KEYS = {
     "model_speedup": "speedup",
     "parallel_scaling": "speedup",
     "batch_speedup": "speedup",
+    "service": "speedup",
 }
 
 #: ``--check`` fails when a headline speedup drops below this fraction

@@ -28,6 +28,7 @@ from .core.pipeline import PerfTaintPipeline, PerfTaintResult
 from .core.stages import (
     STAGES,
     Campaign,
+    MeasureScheduler,
     Stage,
     run_classify_stage,
     run_design_stage,
@@ -42,9 +43,23 @@ from .core.stages import (
 from .errors import (
     ArtifactError,
     CampaignSpecError,
+    LeaseTimeout,
     PipelineError,
+    ProtocolVersionMismatch,
     RegistryError,
     ReproError,
+    ServiceError,
+)
+from .service import (
+    Broker,
+    BrokerScheduler,
+    CampaignService,
+    LocalStore,
+    RemoteStore,
+    ServiceClient,
+    SharedWorkspace,
+    Worker,
+    serve,
 )
 from .interp import AnalysisDomain, make_engine
 from .modeling import (
@@ -83,13 +98,19 @@ __all__ = [
     "AnalysisDomain",
     "ArtifactError",
     "ArtifactStore",
+    "Broker",
+    "BrokerScheduler",
     "CONTENTION_REGISTRY",
     "Campaign",
+    "CampaignService",
     "CampaignSpecError",
     "DEFAULT_MODEL_BACKEND",
     "DESIGN_REGISTRY",
     "ENGINE_REGISTRY",
+    "LeaseTimeout",
+    "LocalStore",
     "MODEL_BACKEND_REGISTRY",
+    "MeasureScheduler",
     "Modeler",
     "ModelSearchBackend",
     "NOISE_REGISTRY",
@@ -97,20 +118,27 @@ __all__ = [
     "PerfTaintResult",
     "PipelineError",
     "PropagationPolicy",
+    "ProtocolVersionMismatch",
     "Registry",
     "RegistryEntry",
     "RegistryError",
+    "RemoteStore",
     "ReproError",
     "STAGES",
+    "ServiceClient",
+    "ServiceError",
+    "SharedWorkspace",
     "Stage",
     "TaintDomain",
     "TaintEngine",
     "TaintReport",
     "WORKLOAD_REGISTRY",
+    "Worker",
     "artifact_fingerprint",
     "load_builtin_components",
     "make_engine",
     "make_model_backend",
+    "serve",
     "register_contention",
     "register_design",
     "register_engine",

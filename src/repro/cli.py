@@ -14,7 +14,13 @@ Commands mirror the pipeline stages on the registered workloads:
 * ``contention <app> --r 2,4,8,16`` — ranks-per-node study (C1);
 * ``segments <app> --p 4,8,32`` — branch-direction validation (C2);
 * ``sweep <app> --values p=2,4 s=4,8 --jobs 4`` — measurement stage only,
-  fanned out over worker processes with an optional on-disk run cache.
+  fanned out over worker processes with an optional on-disk run cache;
+* ``serve --store DIR`` / ``worker --server URL`` / ``submit <spec.toml>
+  --server URL`` / ``status <id> --server URL`` — the distributed
+  campaign service: a long-lived server owning the shared artifact
+  store, workers pulling measure-stage leases over HTTP, and clients
+  submitting campaign specs and polling per-stage provenance (see
+  :mod:`repro.service`).
 
 ``<app>`` is any registered workload — the bundled ``lulesh``, ``milc``
 and ``synthetic``, plus anything user code registers via
@@ -377,6 +383,138 @@ def cmd_segments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_spec_file(path: str) -> dict:
+    """Load a campaign spec mapping from a TOML (or JSON) file."""
+    import json
+    import pathlib
+
+    if pathlib.Path(path).suffix.lower() == ".json":
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except OSError as exc:
+            raise SystemExit(f"error: cannot read spec file '{path}': {exc}")
+        except ValueError as exc:
+            raise SystemExit(
+                f"error: spec file '{path}' is not valid JSON: {exc}"
+            )
+    else:
+        try:
+            import tomllib
+        except ModuleNotFoundError:  # Python < 3.11
+            raise SystemExit(
+                "error: reading TOML specs needs Python >= 3.11; "
+                "submit a JSON spec instead"
+            ) from None
+        try:
+            with open(path, "rb") as handle:
+                data = tomllib.load(handle)
+        except OSError as exc:
+            raise SystemExit(f"error: cannot read spec file '{path}': {exc}")
+        except tomllib.TOMLDecodeError as exc:
+            raise SystemExit(
+                f"error: spec file '{path}' is not valid TOML: {exc}"
+            )
+    if not isinstance(data, dict):
+        raise SystemExit(
+            f"error: spec file '{path}' must contain a mapping"
+        )
+    return data
+
+
+def _print_campaign_status(status: dict) -> None:
+    print(f"campaign {status.get('id')}: {status.get('state')}")
+    for stage_name, how in status.get("stages", {}).items():
+        print(f"  {stage_name:<9} {how}")
+    if status.get("profile_executions") is not None:
+        print(f"profile executions: {status['profile_executions']}")
+    if status.get("stats_line"):
+        print(status["stats_line"])
+    if status.get("error"):
+        print(f"error: {status['error']}")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import serve
+
+    httpd = serve(
+        args.store,
+        host=args.host,
+        port=args.port,
+        lease_ttl=args.lease_ttl,
+        max_attempts=args.max_attempts,
+        chunk_size=args.chunk_size,
+        verbose=args.verbose,
+    )
+    host, port = httpd.server_address[:2]
+    print(f"campaign server on http://{host}:{port} (store: {args.store})")
+    print("submit campaigns with: repro submit <spec> --server "
+          f"http://{host}:{port}")
+    print("attach workers with:   repro worker --server "
+          f"http://{host}:{port}")
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        httpd.server_close()
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from .service import HttpBrokerTransport, Worker
+
+    worker = Worker(
+        HttpBrokerTransport(args.server),
+        worker_id=args.id,
+        poll_interval=args.poll_interval,
+        max_leases=args.max_leases,
+        stop_when_idle=args.stop_when_idle,
+        idle_timeout=args.idle_timeout,
+    )
+    print(f"worker '{args.id}' pulling leases from {args.server}")
+    try:
+        stats = worker.run()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0
+    print(
+        f"worker '{args.id}' done: {stats.completed} lease(s) completed "
+        f"({stats.configurations} configuration(s)), {stats.failed} failed"
+    )
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+
+    spec = _load_spec_file(args.spec)
+    client = ServiceClient(args.server)
+    campaign_id = client.submit(spec)
+    print(f"submitted campaign {campaign_id} to {args.server}")
+    if args.no_wait:
+        print(f"poll with: repro status {campaign_id} --server {args.server}")
+        return 0
+    status = client.wait(campaign_id, timeout=args.timeout)
+    _print_campaign_status(status)
+    return 0 if status.get("state") == "done" else 1
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+
+    status = ServiceClient(args.server).status(args.id)
+    _print_campaign_status(status)
+    return 0
+
+
+def _add_server_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--server",
+        default="http://127.0.0.1:8642",
+        help="campaign server URL (default: %(default)s)",
+    )
+
+
 def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine",
@@ -557,6 +695,94 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--p", default="4,8,16,32,64", help="rank counts to probe")
     p.add_argument("--size", type=float, default=16)
     p.set_defaults(func=cmd_segments)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the campaign server (shared artifact store + "
+        "measure-stage broker over HTTP)",
+    )
+    p.add_argument(
+        "--store",
+        type=_cache_dir,
+        required=True,
+        help="shared store directory (stage artifacts + run results)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        help="seconds before an unreported lease is re-queued "
+        "(crashed-worker recovery)",
+    )
+    p.add_argument(
+        "--max-attempts",
+        type=_positive_int,
+        default=3,
+        help="attempts per lease before the campaign fails",
+    )
+    p.add_argument(
+        "--chunk-size",
+        type=_positive_int,
+        default=None,
+        help="configurations per lease (default: split evenly)",
+    )
+    p.add_argument("--verbose", action="store_true", help="log HTTP requests")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="pull measure-stage leases from a campaign server and "
+        "execute them",
+    )
+    _add_server_arg(p)
+    p.add_argument("--id", default="worker", help="worker name in leases")
+    p.add_argument("--poll-interval", type=float, default=0.2)
+    p.add_argument(
+        "--max-leases",
+        type=_positive_int,
+        default=None,
+        help="exit after completing this many leases",
+    )
+    p.add_argument(
+        "--stop-when-idle",
+        action="store_true",
+        help="exit when the queue is empty instead of polling",
+    )
+    p.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        help="exit after this many idle seconds",
+    )
+    p.set_defaults(func=cmd_worker)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a campaign spec (TOML/JSON) to a campaign server",
+    )
+    p.add_argument("spec", help="path to a campaign spec file")
+    _add_server_arg(p)
+    p.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="return immediately after submission instead of polling",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="max seconds to wait for completion",
+    )
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "status", help="per-stage status/provenance of a submitted campaign"
+    )
+    p.add_argument("id", help="campaign id returned by submit")
+    _add_server_arg(p)
+    p.set_defaults(func=cmd_status)
     return parser
 
 

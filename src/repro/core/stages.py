@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import pathlib
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Mapping, Protocol, Sequence
 
 from ..errors import CampaignSpecError, PipelineError
 from ..interp import (
@@ -184,6 +184,33 @@ def run_plan_stage(
     return taint_filter_plan(program, taint, static)
 
 
+class MeasureScheduler(Protocol):
+    """Pluggable executor for the measure stage.
+
+    Anything with this surface can run a campaign's measure stage — the
+    campaign-service :class:`~repro.service.broker.BrokerScheduler`
+    leases the design out to remote workers through it.  Implementations
+    MUST be bit-identical to the built-in runners (noise streams derived
+    purely from ``(seed, function, configuration key, repetition)``,
+    results merged in canonical design order): the scheduler is
+    deliberately **not** part of the measure stage's fingerprint, so
+    local and distributed runs share cache and workspace entries.
+    """
+
+    def run_measure(
+        self,
+        workload: Workload,
+        design: Sequence[Mapping[str, float]],
+        plan: InstrumentationPlan,
+        *,
+        noise: NoiseModel,
+        contention: ContentionModel,
+        repetitions: int,
+        seed: int,
+        engine: str,
+    ) -> tuple[Measurements, dict[ConfigKey, ProfileResult]]: ...
+
+
 def run_measure_stage(
     workload: Workload,
     design: Sequence[Mapping[str, float]],
@@ -196,17 +223,30 @@ def run_measure_stage(
     n_jobs: int = 1,
     cache_dir: "str | None" = None,
     engine: str = DEFAULT_MEASUREMENT_ENGINE,
+    scheduler: "MeasureScheduler | None" = None,
 ) -> tuple[Measurements, dict[ConfigKey, ProfileResult]]:
     """Run the instrumented experiments.
 
-    A batch-capable *engine* (``supports_batch`` registry metadata, e.g.
-    ``vectorized``) routes to the whole-sweep
+    An explicit *scheduler* takes the whole stage (distributed
+    campaigns).  Otherwise a batch-capable *engine* (``supports_batch``
+    registry metadata, e.g. ``vectorized``) routes to the whole-sweep
     :class:`~repro.measure.batched.BatchedExperimentRunner`, which owns
-    its own ``n_jobs`` (batch-axis sharding) and run cache.  Otherwise
-    the process-pool runner handles ``n_jobs > 1`` or a run cache, and
-    the plain serial runner everything else.  All three produce
-    bit-identical measurements.
+    its own ``n_jobs`` (batch-axis sharding) and run cache; the
+    process-pool runner handles ``n_jobs > 1`` or a run cache, and the
+    plain serial runner everything else.  All paths produce bit-identical
+    measurements.
     """
+    if scheduler is not None:
+        return scheduler.run_measure(
+            workload,
+            design,
+            plan,
+            noise=noise,
+            contention=contention,
+            repetitions=repetitions,
+            seed=seed,
+            engine=engine,
+        )
     if ENGINE_REGISTRY.entry(engine).metadata.get("supports_batch"):
         runner = BatchedExperimentRunner(
             workload=workload,
@@ -439,6 +479,7 @@ STAGES: dict[str, Stage] = {
                 n_jobs=c.n_jobs,
                 cache_dir=c.cache_dir,
                 engine=c.engine,
+                scheduler=c.scheduler,
             ),
             config=lambda c: {
                 "workload": workload_repr(c.workload),
@@ -542,6 +583,12 @@ class Campaign:
     cov_threshold: "float | None" = 0.1
     #: Stage-artifact workspace; None disables persistence and resume.
     workspace: "art.ArtifactStore | str | pathlib.Path | None" = None
+    #: Measure-stage executor override (e.g. the campaign service's
+    #: ``BrokerScheduler``); None keeps the built-in runner routing.
+    #: Schedulers are bit-identical by contract, so this field is not
+    #: part of any stage fingerprint — local and distributed campaigns
+    #: share cache and workspace entries.
+    scheduler: "MeasureScheduler | None" = None
 
     def __post_init__(self) -> None:
         if isinstance(self.mode, str):

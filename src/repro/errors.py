@@ -128,6 +128,77 @@ class ArtifactError(ReproError):
     """A persisted stage artifact could not be decoded."""
 
 
+class ServiceError(ReproError):
+    """Failure in the distributed campaign service (broker, worker,
+    remote store, or campaign server).
+
+    The service CLI boundary wraps bare socket/JSON failures into this
+    hierarchy so users see which endpoint, lease, or fingerprint is
+    involved instead of a raw traceback.
+    """
+
+
+class LeaseTimeout(ServiceError):
+    """A measure-stage lease exhausted its retry budget.
+
+    Every attempt either timed out (worker death, hang) or was failed
+    explicitly by a worker.  The message names the lease, the owning job,
+    and the configuration fingerprints still outstanding so the stuck
+    work is identifiable in the shared cache.
+    """
+
+    def __init__(
+        self,
+        lease_id: str,
+        job_id: str | None = None,
+        attempts: int | None = None,
+        fingerprints: "tuple[str, ...] | None" = None,
+        detail: str | None = None,
+    ) -> None:
+        self.lease_id = lease_id
+        self.job_id = job_id
+        self.attempts = attempts
+        self.fingerprints = tuple(fingerprints or ())
+        parts = [f"lease '{lease_id}'"]
+        if job_id is not None:
+            parts.append(f"of job '{job_id}'")
+        message = " ".join(parts)
+        if attempts is not None:
+            message += f" failed after {attempts} attempt(s)"
+        if self.fingerprints:
+            shown = ", ".join(fp[:12] for fp in self.fingerprints[:3])
+            more = (
+                f" (+{len(self.fingerprints) - 3} more)"
+                if len(self.fingerprints) > 3
+                else ""
+            )
+            message += f"; outstanding run fingerprints: {shown}{more}"
+        if detail:
+            message += f"; last error: {detail}"
+        message += (
+            " — check worker logs, then resubmit: completed leases are "
+            "already in the shared cache and will not re-execute"
+        )
+        super().__init__(message)
+
+
+class ProtocolVersionMismatch(ServiceError):
+    """A service message carried an incompatible protocol version.
+
+    Raised instead of silently misinterpreting messages when brokers,
+    workers, and clients are running different repro versions.
+    """
+
+    def __init__(self, got: object, expected: int) -> None:
+        self.got = got
+        self.expected = expected
+        super().__init__(
+            f"service protocol version mismatch: peer sent {got!r}, this "
+            f"process speaks version {expected} — upgrade the older side "
+            "(broker, worker, and client must run the same repro protocol)"
+        )
+
+
 class MeasurementError(ReproError):
     """Failure in the measurement / instrumentation substrate."""
 

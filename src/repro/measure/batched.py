@@ -45,13 +45,54 @@ from .experiment import (
     merge_results_dense,
 )
 from .instrumentation import InstrumentationPlan
-from .io import RunCache, program_hash, run_fingerprint
+from .io import RunCache, program_hash
 from .noise import GaussianNoise, NoiseModel, perturb_block
-from .parallel import RunStats, _workload_for, spec_of, workload_repr
+from .parallel import (
+    RunStats,
+    _workload_for,
+    configuration_fingerprint,
+    spec_of,
+    workload_repr,
+)
 from .profiler import APP_KEY, ProfileResult, profile_run_batch
 
 #: Default batched engine (the only built-in with ``supports_batch``).
 DEFAULT_BATCH_ENGINE = "vectorized"
+
+
+def batch_chunks(
+    pending: Sequence[int],
+    setups: Sequence[RunSetup],
+    batch_size: "int | None" = None,
+    n_jobs: int = 1,
+) -> list[list[int]]:
+    """Split design indices into batchable chunks, preserving order.
+
+    Lanes of one engine pass must share ``exec_config`` and ``entry``;
+    within each such group, ``batch_size`` (or an even ``n_jobs`` split)
+    bounds the chunk length.  Shared by :class:`BatchedExperimentRunner`
+    and the campaign-service broker, whose leases are exactly these
+    chunks — so a lease handed to a batch-capable worker is always
+    executable as one tensor pass.
+    """
+    groups: list[tuple[tuple, list[int]]] = []
+    for index in pending:
+        marker = (setups[index].exec_config, setups[index].entry)
+        if groups and groups[-1][0] == marker:
+            groups[-1][1].append(index)
+        else:
+            groups.append((marker, [index]))
+    chunks: list[list[int]] = []
+    for _marker, members in groups:
+        limit = batch_size
+        if limit is None and n_jobs > 1:
+            limit = max(1, -(-len(members) // n_jobs))
+        if limit is None:
+            chunks.append(members)
+        else:
+            for at in range(0, len(members), limit):
+                chunks.append(members[at : at + limit])
+    return chunks
 
 
 def require_batch_engine(engine: str) -> None:
@@ -209,30 +250,20 @@ class BatchedExperimentRunner:
         setup: RunSetup,
         workload_repr: str,
     ) -> str:
-        # Identical construction to ParallelExperimentRunner._fingerprint:
-        # the engine name participates, so caches populated by scalar
+        # The engine name participates, so caches populated by scalar
         # engines are never served to batched runs or vice versa (results
         # are bit-identical, but provenance must stay honest).
-        exec_repr = ";".join(
-            [
-                f"args={sorted(setup.args.items())}",
-                f"ranks_per_node={setup.ranks_per_node}",
-                f"exec={setup.exec_config!r}",
-                f"runtime={getattr(setup.runtime, 'config', None)!r}",
-                f"entry={setup.entry!r}",
-            ]
-        )
-        return run_fingerprint(
+        return configuration_fingerprint(
             program_digest,
             config,
+            setup,
             self.plan,
-            exec_repr=exec_repr,
-            noise_repr=repr(self.noise),
-            contention_repr=repr(self.contention),
-            repetitions=self.repetitions,
-            seed=self.seed,
-            workload_repr=workload_repr,
-            engine=self.engine,
+            self.noise,
+            self.contention,
+            self.repetitions,
+            self.seed,
+            workload_repr,
+            self.engine,
         )
 
     # -- execution ---------------------------------------------------------
@@ -296,31 +327,9 @@ class BatchedExperimentRunner:
     def _chunks(
         self, pending: Sequence[int], setups: Sequence[RunSetup]
     ) -> list[list[int]]:
-        """Split pending indices into batchable chunks.
-
-        Lanes of one engine pass must share ``exec_config`` and
-        ``entry``; within each such group, ``batch_size`` (or an even
-        ``n_jobs`` split) bounds the chunk length.
-        """
-        groups: list[tuple[tuple, list[int]]] = []
-        for index in pending:
-            marker = (setups[index].exec_config, setups[index].entry)
-            if groups and groups[-1][0] == marker:
-                groups[-1][1].append(index)
-            else:
-                groups.append((marker, [index]))
-        size = self.batch_size
-        chunks: list[list[int]] = []
-        for _marker, members in groups:
-            limit = size
-            if limit is None and self.n_jobs > 1:
-                limit = max(1, -(-len(members) // self.n_jobs))
-            if limit is None:
-                chunks.append(members)
-            else:
-                for at in range(0, len(members), limit):
-                    chunks.append(members[at : at + limit])
-        return chunks
+        """See :func:`batch_chunks` (module-level for reuse by the
+        campaign-service broker)."""
+        return batch_chunks(pending, setups, self.batch_size, self.n_jobs)
 
     def _run_pool(
         self,

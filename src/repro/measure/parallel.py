@@ -91,6 +91,50 @@ def workload_repr(workload: Workload) -> str:
     return ";".join(parts)
 
 
+def configuration_fingerprint(
+    program_digest: str,
+    config: Mapping[str, float],
+    setup: RunSetup,
+    plan: InstrumentationPlan,
+    noise: NoiseModel,
+    contention: ContentionModel,
+    repetitions: int,
+    seed: int,
+    workload_repr: str,
+    engine: str,
+) -> str:
+    """Run-cache key of one configuration, shared by every scheduler.
+
+    The setup carries everything the workload derives from the
+    configuration point (entry args, exec config, runtime/network
+    parameters) — fingerprint the derived state, not just the point.
+    The parallel runner, the batched runner, and the campaign-service
+    broker all key their caches with this function, so a configuration
+    measured by any of them is a hit for all of them.
+    """
+    exec_repr = ";".join(
+        [
+            f"args={sorted(setup.args.items())}",
+            f"ranks_per_node={setup.ranks_per_node}",
+            f"exec={setup.exec_config!r}",
+            f"runtime={getattr(setup.runtime, 'config', None)!r}",
+            f"entry={setup.entry!r}",
+        ]
+    )
+    return run_fingerprint(
+        program_digest,
+        config,
+        plan,
+        exec_repr=exec_repr,
+        noise_repr=repr(noise),
+        contention_repr=repr(contention),
+        repetitions=repetitions,
+        seed=seed,
+        workload_repr=workload_repr,
+        engine=engine,
+    )
+
+
 def _identity_workload(workload: Workload) -> Workload:
     return workload
 
@@ -223,29 +267,17 @@ class ParallelExperimentRunner:
         setup: RunSetup,
         workload_repr: str,
     ) -> str:
-        # The setup carries everything the workload derives from the
-        # configuration point (entry args, exec config, runtime/network
-        # parameters) — fingerprint the derived state, not just the point.
-        exec_repr = ";".join(
-            [
-                f"args={sorted(setup.args.items())}",
-                f"ranks_per_node={setup.ranks_per_node}",
-                f"exec={setup.exec_config!r}",
-                f"runtime={getattr(setup.runtime, 'config', None)!r}",
-                f"entry={setup.entry!r}",
-            ]
-        )
-        return run_fingerprint(
+        return configuration_fingerprint(
             program_digest,
             config,
+            setup,
             self.plan,
-            exec_repr=exec_repr,
-            noise_repr=repr(self.noise),
-            contention_repr=repr(self.contention),
-            repetitions=self.repetitions,
-            seed=self.seed,
-            workload_repr=workload_repr,
-            engine=self.engine,
+            self.noise,
+            self.contention,
+            self.repetitions,
+            self.seed,
+            workload_repr,
+            self.engine,
         )
 
     # -- execution ---------------------------------------------------------

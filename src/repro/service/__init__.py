@@ -1,0 +1,74 @@
+"""Distributed campaign service: broker, workers, shared artifact cache.
+
+The measurement campaigns of the paper are embarrassingly parallel
+(every design configuration is an independent profiled run), and every
+stage artifact is already content-addressed by a sha256 fingerprint.
+This package promotes those two facts into a service:
+
+* :mod:`~repro.service.protocol` — the versioned JSON wire protocol:
+  :class:`~repro.measure.parallel.WorkloadSpec` recipes and per-stage /
+  per-run fingerprints *are* the message format;
+* :mod:`~repro.service.broker` — splits the measure stage into leases,
+  hands them to workers, re-queues them on worker death or timeout, and
+  merges results in deterministic design order (bit-identical to the
+  single-process runners for any worker count or failure schedule);
+* :mod:`~repro.service.worker` — pulls leases and executes them, routing
+  batch-capable engines to whole-chunk tensor passes;
+* :mod:`~repro.service.remote_store` — the content-addressed artifact
+  store and run cache behind ``get``/``put``/``has`` HTTP endpoints, so
+  concurrent campaigns from many clients dedupe work fleet-wide;
+* :mod:`~repro.service.server` — the long-lived campaign server
+  (stdlib ``http.server`` + threads): submit a spec, poll per-stage
+  status and provenance, fetch artifacts.
+
+Everything is stdlib-only (sockets, ``http.server``, threads); the CLI
+front doors are ``repro serve``, ``repro worker``, ``repro submit``, and
+``repro status``.
+"""
+
+from .broker import Broker, BrokerScheduler, Lease, MeasureJob
+from .protocol import (
+    PROTOCOL_VERSION,
+    envelope,
+    from_wire,
+    measure_task_from_wire,
+    measure_task_to_wire,
+    open_envelope,
+    to_wire,
+    workload_spec_from_wire,
+    workload_spec_to_wire,
+)
+from .remote_store import (
+    LocalStore,
+    RemoteRunCache,
+    RemoteStore,
+    SharedWorkspace,
+)
+from .server import CampaignService, ServiceClient, serve
+from .worker import HttpBrokerTransport, LocalBrokerTransport, Worker
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "Broker",
+    "BrokerScheduler",
+    "CampaignService",
+    "HttpBrokerTransport",
+    "Lease",
+    "LocalBrokerTransport",
+    "LocalStore",
+    "MeasureJob",
+    "RemoteRunCache",
+    "RemoteStore",
+    "ServiceClient",
+    "SharedWorkspace",
+    "Worker",
+    "envelope",
+    "from_wire",
+    "measure_task_from_wire",
+    "measure_task_to_wire",
+    "open_envelope",
+    "serve",
+    "to_wire",
+    "workload_spec_from_wire",
+    "workload_spec_to_wire",
+]

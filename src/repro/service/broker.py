@@ -1,0 +1,455 @@
+"""The measure-stage broker: leases out chunks, merges in design order.
+
+The broker owns one side of the campaign service's central invariant:
+
+    *for any worker count and any failure schedule, a distributed
+    measure stage is bit-identical to the single-process runners.*
+
+It holds that invariant the same way the process-pool runners do —
+workers only ever compute :class:`~repro.measure.experiment.ConfigRunResult`
+values whose noise streams are derived purely from
+``(seed, function, configuration key, repetition)``, and the broker
+merges them **by design index**, never by completion order.  Which
+worker ran a chunk, how chunks were sized, and how many times a lease
+was re-queued after a crash are all invisible in the output.
+
+Fault tolerance is lease-based: a claim carries a TTL; leases that are
+neither completed nor failed before the deadline are reaped and
+re-queued (the crashed-worker path), and explicit failures re-queue
+immediately.  After ``max_attempts`` attempts a lease poisons its job
+with a :class:`~repro.errors.LeaseTimeout` naming the lease, the job,
+and the affected fingerprints.
+
+Fleet-wide dedupe: given a store, the broker checks the ``runs``
+namespace (keyed by
+:func:`~repro.measure.parallel.configuration_fingerprint`) before
+leasing, and publishes completed results back — so two campaigns
+sharing configurations execute each profiled run once between them.
+
+Chunking reuses :func:`~repro.measure.batched.batch_chunks`, so every
+lease's configurations share ``exec_config`` and ``entry`` and a
+batch-capable worker can execute the whole lease as one tensor pass.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..errors import LeaseTimeout, ServiceError
+from ..measure.batched import batch_chunks
+from ..measure.experiment import (
+    ConfigKey,
+    ConfigRunResult,
+    Measurements,
+    Workload,
+    config_key,
+    merge_results,
+)
+from ..measure.instrumentation import InstrumentationPlan
+from ..measure.io import (
+    config_run_result_from_dict,
+    config_run_result_to_dict,
+    program_hash,
+)
+from ..measure.parallel import (
+    RunStats,
+    configuration_fingerprint,
+    workload_repr,
+)
+from ..mpisim.contention import ContentionModel
+from ..measure.noise import NoiseModel
+from ..measure.profiler import ProfileResult
+from .protocol import configs_to_wire, measure_task_to_wire
+from .remote_store import RUNS_NAMESPACE
+
+#: Default seconds a claimed lease may stay unreported before reaping.
+DEFAULT_LEASE_TTL = 30.0
+#: Default attempts per lease before the job fails with LeaseTimeout.
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+@dataclass
+class Lease:
+    """One claimable chunk of a measure job."""
+
+    lease_id: str
+    job_id: str
+    indices: tuple[int, ...]
+    attempt: int = 0
+    worker: "str | None" = None
+    #: ``time.monotonic`` deadline while claimed, else None.
+    deadline: "float | None" = None
+
+
+@dataclass
+class MeasureJob:
+    """One submitted measure stage, tracked to completion."""
+
+    job_id: str
+    workload: Workload
+    parameters: tuple[str, ...]
+    configs: list[dict[str, float]]
+    keys: list[ConfigKey]
+    fingerprints: list[str]
+    task_wire: dict
+    results: "list[ConfigRunResult | None]"
+    cached: int = 0
+    executed: int = 0
+    error: "Exception | None" = None
+    done: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def remaining(self) -> int:
+        return sum(1 for r in self.results if r is None)
+
+
+class Broker:
+    """Splits measure stages into leases and merges worker results.
+
+    Thread-safe: the campaign server drives it from HTTP handler threads
+    and the in-process tests from plain worker threads, through the same
+    ``claim`` / ``complete`` / ``fail`` surface the HTTP transport wraps.
+    """
+
+    def __init__(
+        self,
+        store=None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        chunk_size: "int | None" = None,
+        workers_hint: int = 4,
+    ) -> None:
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be > 0, got {lease_ttl}")
+        if max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        self.store = store
+        self.lease_ttl = float(lease_ttl)
+        self.max_attempts = int(max_attempts)
+        self.chunk_size = chunk_size
+        self.workers_hint = max(1, int(workers_hint))
+        self._lock = threading.Lock()
+        self._jobs: dict[str, MeasureJob] = {}
+        self._queue: list[Lease] = []
+        self._active: dict[str, Lease] = {}
+        self._ids = itertools.count(1)
+
+    # -- submission --------------------------------------------------------
+
+    def submit_measure(
+        self,
+        workload: Workload,
+        design: Sequence[Mapping[str, float]],
+        plan: InstrumentationPlan,
+        *,
+        noise: NoiseModel,
+        contention: ContentionModel,
+        repetitions: int,
+        seed: int,
+        engine: str,
+    ) -> str:
+        """Queue one measure stage; returns the job id.
+
+        The design is fingerprinted configuration by configuration;
+        store hits are adopted immediately (``cached``), misses become
+        leases in canonical design order.
+        """
+        configs = [dict(c) for c in design]
+        parameters = tuple(workload.parameters)
+        program = workload.program()
+        digest = program_hash(program)
+        wl_repr = workload_repr(workload)
+        keys = [config_key(parameters, c) for c in configs]
+        setups = [workload.setup(c) for c in configs]
+        fingerprints = [
+            configuration_fingerprint(
+                digest,
+                configs[i],
+                setups[i],
+                plan,
+                noise,
+                contention,
+                repetitions,
+                seed,
+                wl_repr,
+                engine,
+            )
+            for i in range(len(configs))
+        ]
+
+        results: "list[ConfigRunResult | None]" = [None] * len(configs)
+        pending: list[int] = []
+        for index in range(len(configs)):
+            hit = self._store_get(fingerprints[index])
+            if hit is not None:
+                hit.cached = True
+                results[index] = hit
+            else:
+                pending.append(index)
+
+        task_wire = measure_task_to_wire(
+            workload, plan, noise, contention, repetitions, seed, engine
+        )
+        with self._lock:
+            job_id = f"J{next(self._ids)}"
+            job = MeasureJob(
+                job_id=job_id,
+                workload=workload,
+                parameters=parameters,
+                configs=configs,
+                keys=keys,
+                fingerprints=fingerprints,
+                task_wire=task_wire,
+                results=results,
+                cached=len(configs) - len(pending),
+            )
+            self._jobs[job_id] = job
+            for chunk in batch_chunks(
+                pending, setups, self.chunk_size, self.workers_hint
+            ):
+                self._queue.append(
+                    Lease(
+                        lease_id=f"L{next(self._ids)}",
+                        job_id=job_id,
+                        indices=tuple(chunk),
+                    )
+                )
+            if job.remaining == 0:
+                job.done.set()
+        return job_id
+
+    def _store_get(self, fingerprint: str) -> "ConfigRunResult | None":
+        if self.store is None:
+            return None
+        payload = self.store.get(RUNS_NAMESPACE, fingerprint)
+        if payload is None:
+            return None
+        try:
+            return config_run_result_from_dict(payload)
+        except Exception:
+            return None
+
+    def _store_put(self, fingerprint: str, result: ConfigRunResult) -> None:
+        if self.store is not None:
+            self.store.put(
+                RUNS_NAMESPACE, fingerprint, config_run_result_to_dict(result)
+            )
+
+    # -- the worker surface ------------------------------------------------
+
+    def claim(self, worker: str = "") -> "dict | None":
+        """Claim the next lease; None when the queue is empty.
+
+        Returns the lease as a wire body: lease/job ids, design indices,
+        configurations, per-configuration fingerprints, and the shared
+        measure task.
+        """
+        with self._lock:
+            self._reap_locked()
+            while self._queue:
+                lease = self._queue.pop(0)
+                job = self._jobs.get(lease.job_id)
+                if job is None or job.done.is_set():
+                    continue
+                lease.worker = str(worker) or None
+                lease.deadline = time.monotonic() + self.lease_ttl
+                self._active[lease.lease_id] = lease
+                return {
+                    "lease": lease.lease_id,
+                    "job": lease.job_id,
+                    "attempt": lease.attempt,
+                    "indices": list(lease.indices),
+                    "configs": configs_to_wire(
+                        job.configs[i] for i in lease.indices
+                    ),
+                    "fingerprints": [
+                        job.fingerprints[i] for i in lease.indices
+                    ],
+                    "task": job.task_wire,
+                }
+        return None
+
+    def complete(self, lease_id: str, results: Sequence[Mapping]) -> None:
+        """Accept a worker's results for a lease.
+
+        Results are ``{"index": int, "result": <ConfigRunResult dict>}``
+        entries.  A completion for a lease that was already reaped (the
+        worker outlived its TTL) is silently dropped — the re-queued
+        lease recomputes the same bit-identical values, so duplicated
+        work is the designed cost of crash recovery, never corruption.
+        """
+        decoded: list[tuple[int, ConfigRunResult]] = []
+        to_publish: list[tuple[str, ConfigRunResult]] = []
+        with self._lock:
+            lease = self._active.pop(str(lease_id), None)
+            job = self._jobs.get(lease.job_id) if lease else None
+            if job is None:
+                return
+            for entry in results:
+                if not isinstance(entry, Mapping):
+                    raise ServiceError(
+                        f"malformed lease result for {lease_id}: "
+                        "expected {'index': ..., 'result': ...} entries"
+                    )
+                index = int(entry["index"])
+                if index not in lease.indices:
+                    raise ServiceError(
+                        f"lease {lease_id} reported result for design "
+                        f"index {index}, which it does not hold"
+                    )
+                try:
+                    result = config_run_result_from_dict(entry["result"])
+                except Exception as exc:
+                    raise ServiceError(
+                        f"lease {lease_id} result for index {index} "
+                        f"does not decode: {exc}"
+                    ) from exc
+                decoded.append((index, result))
+            for index, result in decoded:
+                if job.results[index] is None:
+                    job.results[index] = result
+                    job.executed += 1
+                    to_publish.append((job.fingerprints[index], result))
+            if job.remaining == 0 and job.error is None:
+                job.done.set()
+        for fingerprint, result in to_publish:
+            self._store_put(fingerprint, result)
+
+    def fail(self, lease_id: str, reason: str = "") -> None:
+        """Re-queue a lease a worker reported as failed."""
+        with self._lock:
+            lease = self._active.pop(str(lease_id), None)
+            if lease is not None:
+                self._requeue_locked(lease, reason or "reported failed")
+
+    # -- fault handling ----------------------------------------------------
+
+    def _reap_locked(self) -> None:
+        now = time.monotonic()
+        expired = [
+            lease
+            for lease in self._active.values()
+            if lease.deadline is not None and lease.deadline < now
+        ]
+        for lease in expired:
+            del self._active[lease.lease_id]
+            self._requeue_locked(
+                lease,
+                f"lease TTL ({self.lease_ttl:g}s) expired — worker "
+                f"{lease.worker or '<unknown>'} presumed dead",
+            )
+
+    def _requeue_locked(self, lease: Lease, reason: str) -> None:
+        job = self._jobs.get(lease.job_id)
+        if job is None or job.done.is_set():
+            return
+        lease.attempt += 1
+        lease.worker = None
+        lease.deadline = None
+        if lease.attempt >= self.max_attempts:
+            job.error = LeaseTimeout(
+                lease.lease_id,
+                job_id=job.job_id,
+                attempts=lease.attempt,
+                fingerprints=[job.fingerprints[i] for i in lease.indices],
+                detail=reason,
+            )
+            job.done.set()
+        else:
+            self._queue.append(lease)
+
+    # -- the submitter surface ---------------------------------------------
+
+    def wait(
+        self, job_id: str, timeout: "float | None" = None, poll: float = 0.05
+    ) -> tuple[Measurements, dict[ConfigKey, ProfileResult]]:
+        """Block until *job_id* finishes; return its merged measurements.
+
+        Raises the job's :class:`~repro.errors.LeaseTimeout` if a lease
+        exhausted its attempts, and :class:`~repro.errors.ServiceError`
+        on an unknown job or a wait timeout.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown measure job '{job_id}'")
+        start = time.monotonic()
+        while not job.done.wait(poll):
+            with self._lock:
+                self._reap_locked()
+            if timeout is not None and time.monotonic() - start > timeout:
+                raise ServiceError(
+                    f"measure job '{job_id}' did not finish within "
+                    f"{timeout:g}s ({job.remaining} of "
+                    f"{len(job.results)} configurations outstanding — "
+                    "are any workers connected?)"
+                )
+        if job.error is not None:
+            raise job.error
+        return merge_results(job.parameters, job.results)
+
+    def job_stats(self, job_id: str) -> RunStats:
+        """Executed/cached provenance of a finished (or running) job."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise ServiceError(f"unknown measure job '{job_id}'")
+            return RunStats(executed=job.executed, cached=job.cached)
+
+    def queue_depth(self) -> int:
+        """Unclaimed leases (after reaping expired ones)."""
+        with self._lock:
+            self._reap_locked()
+            return len(self._queue)
+
+
+@dataclass
+class BrokerScheduler:
+    """A :class:`~repro.core.stages.MeasureScheduler` over a broker.
+
+    Plugging one of these into a campaign makes ``run_measure_stage``
+    lease the design out to whatever workers are attached to the broker
+    instead of executing locally — with identical output, so local and
+    distributed campaigns share stage-artifact fingerprints.
+    """
+
+    broker: Broker
+    timeout: "float | None" = None
+
+    def __post_init__(self) -> None:
+        self.last_stats = RunStats()
+        self.last_job_id: "str | None" = None
+
+    def run_measure(
+        self,
+        workload: Workload,
+        design: Sequence[Mapping[str, float]],
+        plan: InstrumentationPlan,
+        *,
+        noise: NoiseModel,
+        contention: ContentionModel,
+        repetitions: int,
+        seed: int,
+        engine: str,
+    ) -> tuple[Measurements, dict[ConfigKey, ProfileResult]]:
+        job_id = self.broker.submit_measure(
+            workload,
+            design,
+            plan,
+            noise=noise,
+            contention=contention,
+            repetitions=repetitions,
+            seed=seed,
+            engine=engine,
+        )
+        self.last_job_id = job_id
+        try:
+            return self.broker.wait(job_id, timeout=self.timeout)
+        finally:
+            self.last_stats = self.broker.job_stats(job_id)

@@ -1,0 +1,486 @@
+"""The long-lived campaign server: submit, poll, fetch — over HTTP.
+
+One :class:`CampaignService` owns the shared :class:`LocalStore` (stage
+artifacts + run results), the measure-stage :class:`Broker`, and a
+registry of submitted campaigns.  The HTTP layer on top is stdlib-only
+(``http.server.ThreadingHTTPServer``; one thread per request, one thread
+per running campaign) and speaks the versioned JSON envelopes of
+:mod:`repro.service.protocol`:
+
+========  =====================================  =======================
+method    path                                   message
+========  =====================================  =======================
+GET       /api/v1/health                         -> health
+POST      /api/v1/campaigns                      campaign.submit -> campaign.accepted
+GET       /api/v1/campaigns/<id>                 -> campaign.status
+GET       /api/v1/campaigns/<id>/artifact/<stage> -> campaign.artifact
+POST      /api/v1/leases/claim                   lease.claim -> lease.grant
+POST      /api/v1/leases/<id>/complete           lease.complete -> lease.ack
+POST      /api/v1/leases/<id>/fail               lease.fail -> lease.ack
+GET/HEAD  /api/v1/store/<ns>/<key>               -> store.entry / 404
+PUT       /api/v1/store/<ns>/<key>               store.put -> store.ack
+========  =====================================  =======================
+
+Submitted campaigns run every stage *on the server* except measure,
+which the broker leases out to attached ``repro worker`` processes.
+Because stage artifacts live in the shared store and the scheduler is
+not fingerprinted, a second submission of the same spec — from any
+client — resumes every stage with zero profile executions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import pathlib
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Mapping
+
+from ..core.stages import STAGES, Campaign
+from ..errors import ReproError, ServiceError
+from .broker import Broker, BrokerScheduler
+from .protocol import envelope, open_envelope
+from .remote_store import (
+    STAGE_NAMESPACE,
+    LocalStore,
+    SharedWorkspace,
+    http_json,
+    raise_for_error,
+)
+
+
+class _CampaignRecord:
+    """Book-keeping for one submitted campaign."""
+
+    def __init__(self, campaign_id: str, spec: Mapping, campaign: Campaign):
+        self.campaign_id = campaign_id
+        self.spec = dict(spec)
+        self.campaign = campaign
+        self.state = "queued"  # queued | running | done | failed
+        self.error: "str | None" = None
+        self.stage_states: dict[str, str] = {
+            name: "pending" for name in STAGES
+        }
+        self.profile_executions: "int | None" = None
+        self.lock = threading.Lock()
+
+    def status(self) -> dict:
+        with self.lock:
+            body = {
+                "id": self.campaign_id,
+                "state": self.state,
+                "app": self.spec.get("app"),
+                "stages": dict(self.stage_states),
+                "fingerprints": dict(self.campaign.fingerprints),
+                "profile_executions": self.profile_executions,
+            }
+            if self.error is not None:
+                body["error"] = self.error
+            if self.state == "done":
+                body["stats_line"] = self.campaign.stats_line()
+            return body
+
+
+class CampaignService:
+    """Campaign orchestration behind the HTTP surface (usable in-process).
+
+    The tests drive this object directly; ``serve`` wraps it in the
+    HTTP handler.  All campaign state is derivable from the store — the
+    in-memory records only track liveness of this server's own runs.
+    """
+
+    def __init__(
+        self,
+        store_root: "str | pathlib.Path",
+        lease_ttl: float = 30.0,
+        max_attempts: int = 3,
+        chunk_size: "int | None" = None,
+        measure_timeout: "float | None" = None,
+    ) -> None:
+        self.store = LocalStore(store_root)
+        self.broker = Broker(
+            store=self.store,
+            lease_ttl=lease_ttl,
+            max_attempts=max_attempts,
+            chunk_size=chunk_size,
+        )
+        self.measure_timeout = measure_timeout
+        self._lock = threading.Lock()
+        self._campaigns: dict[str, _CampaignRecord] = {}
+        self._ids = itertools.count(1)
+
+    # -- campaigns ---------------------------------------------------------
+
+    def submit(self, spec: Mapping) -> str:
+        """Validate *spec*, start the campaign thread, return its id."""
+        if not isinstance(spec, Mapping):
+            raise ServiceError(
+                "campaign.submit body must carry a 'spec' mapping "
+                "(the same keys as a TOML campaign file)"
+            )
+        spec = {k: v for k, v in spec.items() if k != "workspace"}
+        campaign = Campaign.from_spec(
+            spec, workspace=SharedWorkspace(self.store)
+        )
+        campaign.scheduler = BrokerScheduler(
+            self.broker, timeout=self.measure_timeout
+        )
+        with self._lock:
+            campaign_id = f"C{next(self._ids)}"
+            record = _CampaignRecord(campaign_id, spec, campaign)
+            self._campaigns[campaign_id] = record
+        thread = threading.Thread(
+            target=self._run, args=(record,), daemon=True,
+            name=f"campaign-{campaign_id}",
+        )
+        thread.start()
+        return campaign_id
+
+    def _run(self, record: _CampaignRecord) -> None:
+        campaign = record.campaign
+        with record.lock:
+            record.state = "running"
+        try:
+            for stage in STAGES.values():
+                with record.lock:
+                    record.stage_states[stage.name] = "running"
+                campaign.run_stage(stage)
+                with record.lock:
+                    record.stage_states[stage.name] = campaign.stage_stats[
+                        stage.name
+                    ]
+            with record.lock:
+                if campaign.stage_stats.get("measure") == "computed":
+                    record.profile_executions = (
+                        campaign.scheduler.last_stats.executed
+                    )
+                else:
+                    record.profile_executions = 0
+                record.state = "done"
+        except Exception as exc:  # noqa: BLE001 — surfaced via status
+            with record.lock:
+                for name, state in record.stage_states.items():
+                    if state == "running":
+                        record.stage_states[name] = "failed"
+                record.error = f"{type(exc).__name__}: {exc}"
+                record.state = "failed"
+
+    def _record(self, campaign_id: str) -> _CampaignRecord:
+        with self._lock:
+            record = self._campaigns.get(campaign_id)
+        if record is None:
+            known = ", ".join(sorted(self._campaigns)) or "<none>"
+            raise ServiceError(
+                f"unknown campaign '{campaign_id}' "
+                f"(campaigns on this server: {known})"
+            )
+        return record
+
+    def status(self, campaign_id: str) -> dict:
+        return self._record(campaign_id).status()
+
+    def artifact(self, campaign_id: str, stage: str) -> dict:
+        """The persisted artifact entry of one finished stage."""
+        if stage not in STAGES:
+            raise ServiceError(
+                f"unknown stage '{stage}' "
+                f"(stages: {', '.join(STAGES)})"
+            )
+        record = self._record(campaign_id)
+        fingerprint = record.campaign.fingerprints.get(stage)
+        if fingerprint is None:
+            raise ServiceError(
+                f"campaign '{campaign_id}' has no fingerprint for stage "
+                f"'{stage}' yet — poll status until the stage has run"
+            )
+        entry = self.store.get(STAGE_NAMESPACE, f"{stage}-{fingerprint}")
+        if entry is None:
+            raise ServiceError(
+                f"stage '{stage}' of campaign '{campaign_id}' "
+                f"(fingerprint {fingerprint[:12]}) is not in the store yet"
+            )
+        return entry
+
+    def health(self) -> dict:
+        with self._lock:
+            campaigns = len(self._campaigns)
+        return {
+            "status": "ok",
+            "campaigns": campaigns,
+            "queue_depth": self.broker.queue_depth(),
+        }
+
+
+# ----------------------------------------------------------------------
+# the HTTP layer
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the owning server's CampaignService."""
+
+    server_version = "repro-campaign/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def service(self) -> CampaignService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send(self, status: int, payload: "dict | None") -> None:
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if self.command != "HEAD" and body:
+            self.wfile.write(body)
+
+    def _body(self) -> object:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return None
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise ServiceError(f"request body is not JSON: {exc}") from exc
+
+    def _route(self, handler) -> None:
+        try:
+            handler()
+        except ReproError as exc:
+            status = 404 if "unknown campaign" in str(exc) else 400
+            self._send(
+                status,
+                envelope(
+                    "error",
+                    {"error": str(exc), "kind": type(exc).__name__},
+                ),
+            )
+        except Exception as exc:  # noqa: BLE001 — keep the server alive
+            self._send(
+                500,
+                envelope(
+                    "error",
+                    {"error": f"{type(exc).__name__}: {exc}",
+                     "kind": "InternalError"},
+                ),
+            )
+
+    def _parts(self) -> list[str]:
+        path = self.path.split("?", 1)[0]
+        return [p for p in path.split("/") if p]
+
+    # -- verbs -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        self._route(self._get)
+
+    def do_HEAD(self) -> None:  # noqa: N802
+        self._route(self._get)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._route(self._post)
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._route(self._put)
+
+    def _get(self) -> None:
+        parts = self._parts()
+        if parts[:2] != ["api", "v1"]:
+            self._send(404, envelope("error", {"error": "unknown path"}))
+            return
+        rest = parts[2:]
+        if rest == ["health"]:
+            self._send(200, envelope("health", self.service.health()))
+        elif len(rest) == 2 and rest[0] == "campaigns":
+            self._send(
+                200,
+                envelope("campaign.status", self.service.status(rest[1])),
+            )
+        elif len(rest) == 4 and rest[0] == "campaigns" and rest[2] == "artifact":
+            entry = self.service.artifact(rest[1], rest[3])
+            self._send(200, envelope("campaign.artifact", entry))
+        elif len(rest) == 3 and rest[0] == "store":
+            payload = self.service.store.get(rest[1], rest[2])
+            if payload is None:
+                self._send(
+                    404, envelope("error", {"error": "no such entry"})
+                )
+            else:
+                self._send(
+                    200, envelope("store.entry", {"payload": payload})
+                )
+        else:
+            self._send(404, envelope("error", {"error": "unknown path"}))
+
+    def _post(self) -> None:
+        parts = self._parts()
+        rest = parts[2:] if parts[:2] == ["api", "v1"] else None
+        if rest == ["campaigns"]:
+            body = open_envelope(self._body(), "campaign.submit")
+            spec = body.get("spec") if isinstance(body, Mapping) else None
+            campaign_id = self.service.submit(spec)
+            self._send(
+                200, envelope("campaign.accepted", {"id": campaign_id})
+            )
+        elif rest == ["leases", "claim"]:
+            body = open_envelope(self._body(), "lease.claim")
+            worker = ""
+            if isinstance(body, Mapping):
+                worker = str(body.get("worker") or "")
+            lease = self.service.broker.claim(worker)
+            self._send(200, envelope("lease.grant", {"lease": lease}))
+        elif rest is not None and len(rest) == 3 and rest[0] == "leases":
+            lease_id, action = rest[1], rest[2]
+            if action == "complete":
+                body = open_envelope(self._body(), "lease.complete")
+                results = (
+                    body.get("results") if isinstance(body, Mapping) else None
+                )
+                if not isinstance(results, list):
+                    raise ServiceError(
+                        "lease.complete body must carry a 'results' list"
+                    )
+                self.service.broker.complete(lease_id, results)
+                self._send(200, envelope("lease.ack", {"lease": lease_id}))
+            elif action == "fail":
+                body = open_envelope(self._body(), "lease.fail")
+                reason = ""
+                if isinstance(body, Mapping):
+                    reason = str(body.get("reason") or "")
+                self.service.broker.fail(lease_id, reason)
+                self._send(200, envelope("lease.ack", {"lease": lease_id}))
+            else:
+                self._send(404, envelope("error", {"error": "unknown path"}))
+        else:
+            self._send(404, envelope("error", {"error": "unknown path"}))
+
+    def _put(self) -> None:
+        parts = self._parts()
+        rest = parts[2:] if parts[:2] == ["api", "v1"] else None
+        if rest is not None and len(rest) == 3 and rest[0] == "store":
+            body = open_envelope(self._body(), "store.put")
+            if not isinstance(body, Mapping) or "payload" not in body:
+                raise ServiceError(
+                    "store.put body must carry a 'payload' entry"
+                )
+            self.service.store.put(rest[1], rest[2], body["payload"])
+            self._send(200, envelope("store.ack", {}))
+        else:
+            self._send(404, envelope("error", {"error": "unknown path"}))
+
+
+def serve(
+    store_root: "str | pathlib.Path",
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    lease_ttl: float = 30.0,
+    max_attempts: int = 3,
+    chunk_size: "int | None" = None,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """Build a ready-to-run campaign server (call ``serve_forever()``).
+
+    ``port=0`` binds an ephemeral port (tests); the chosen address is
+    ``httpd.server_address``.  The service object rides along as
+    ``httpd.service``.
+    """
+    service = CampaignService(
+        store_root,
+        lease_ttl=lease_ttl,
+        max_attempts=max_attempts,
+        chunk_size=chunk_size,
+    )
+    httpd = ThreadingHTTPServer((host, port), _Handler)
+    httpd.daemon_threads = True
+    httpd.service = service  # type: ignore[attr-defined]
+    httpd.verbose = verbose  # type: ignore[attr-defined]
+    return httpd
+
+
+# ----------------------------------------------------------------------
+# the client
+
+
+class ServiceClient:
+    """Typed client for the campaign server (CLI + tests)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _call(
+        self,
+        method: str,
+        path: str,
+        msg_type: "str | None" = None,
+        body: "object | None" = None,
+        reply: "str | None" = None,
+    ):
+        url = f"{self.base_url}{path}"
+        payload = envelope(msg_type, body) if msg_type is not None else None
+        status, response = http_json(
+            method, url, payload, timeout=self.timeout
+        )
+        raise_for_error(status, response, url)
+        return open_envelope(response, reply)
+
+    def health(self) -> dict:
+        return self._call("GET", "/api/v1/health", reply="health")
+
+    def submit(self, spec: Mapping) -> str:
+        body = self._call(
+            "POST",
+            "/api/v1/campaigns",
+            "campaign.submit",
+            {"spec": dict(spec)},
+            "campaign.accepted",
+        )
+        return str(body["id"])
+
+    def status(self, campaign_id: str) -> dict:
+        return self._call(
+            "GET",
+            f"/api/v1/campaigns/{campaign_id}",
+            reply="campaign.status",
+        )
+
+    def artifact(self, campaign_id: str, stage: str) -> dict:
+        return self._call(
+            "GET",
+            f"/api/v1/campaigns/{campaign_id}/artifact/{stage}",
+            reply="campaign.artifact",
+        )
+
+    def wait(
+        self,
+        campaign_id: str,
+        timeout: "float | None" = None,
+        poll: float = 0.2,
+    ) -> dict:
+        """Poll until the campaign leaves the running states."""
+        start = time.monotonic()
+        while True:
+            status = self.status(campaign_id)
+            if status.get("state") in ("done", "failed"):
+                return status
+            if (
+                timeout is not None
+                and time.monotonic() - start > timeout
+            ):
+                raise ServiceError(
+                    f"campaign '{campaign_id}' still "
+                    f"{status.get('state')} after {timeout:g}s — "
+                    "are any workers attached to the server?"
+                )
+            time.sleep(poll)

@@ -1,0 +1,273 @@
+"""Campaign workers: pull leases, execute them, report results.
+
+A worker is a loop over a **broker transport** — either the in-process
+:class:`LocalBrokerTransport` (tests, single-host fleets) or the
+:class:`HttpBrokerTransport` speaking the versioned wire protocol to a
+campaign server (``repro worker --server http://...``).  Both expose the
+same three calls (``claim`` / ``complete`` / ``fail``), so the execution
+path is identical wherever the broker lives.
+
+Engine routing mirrors the single-process runners: leases whose engine
+carries ``supports_batch`` registry metadata execute as **one tensor
+pass** via :func:`~repro.measure.batched.run_batch_configurations`
+(broker chunks are grouped to make that legal); every other engine runs
+configuration by configuration via
+:func:`~repro.measure.experiment.run_configuration`.  Either way the
+results are bit-identical, because noise streams depend only on
+``(seed, function, configuration key, repetition)``.
+
+Fault injection (tests and CI chaos): the ``REPRO_SERVICE_FAULT``
+environment variable (or the ``fault=`` argument) makes a worker
+misbehave deterministically —
+
+* ``crash:<n>`` — die silently while holding the *n*-th claimed lease
+  (never reported; the broker's TTL reaper must recover it);
+* ``fail:<n>`` — report the *n*-th claimed lease as failed, then keep
+  working (exercises the immediate re-queue path).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import ServiceError
+from ..measure.batched import run_batch_configurations
+from ..measure.experiment import config_key, run_configuration
+from ..measure.io import config_run_result_to_dict
+from ..measure.parallel import WorkloadSpec
+from ..registry import ENGINE_REGISTRY, load_builtin_components
+from .protocol import (
+    configs_from_wire,
+    envelope,
+    measure_task_from_wire,
+    open_envelope,
+)
+
+#: Environment variable carrying a fault spec (``crash:<n>``/``fail:<n>``).
+FAULT_ENV = "REPRO_SERVICE_FAULT"
+
+
+def _parse_fault(spec: "str | None") -> "tuple[str, int] | None":
+    if not spec:
+        return None
+    kind, _, count = str(spec).partition(":")
+    if kind not in ("crash", "fail") or not count.isdigit() or int(count) < 1:
+        raise ServiceError(
+            f"invalid {FAULT_ENV} spec {spec!r}: expected 'crash:<n>' or "
+            "'fail:<n>' with n >= 1"
+        )
+    return kind, int(count)
+
+
+class LocalBrokerTransport:
+    """Direct calls into an in-process :class:`~repro.service.broker.Broker`."""
+
+    def __init__(self, broker) -> None:
+        self.broker = broker
+
+    def claim(self, worker: str) -> "Mapping | None":
+        return self.broker.claim(worker)
+
+    def complete(self, lease_id: str, results: list) -> None:
+        self.broker.complete(lease_id, results)
+
+    def fail(self, lease_id: str, reason: str) -> None:
+        self.broker.fail(lease_id, reason)
+
+
+class HttpBrokerTransport:
+    """The same three calls over a campaign server's lease endpoints."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _post(self, path: str, msg_type: str, body: Mapping, reply: str):
+        from .remote_store import http_json, raise_for_error
+
+        url = f"{self.base_url}{path}"
+        status, payload = http_json(
+            "POST", url, envelope(msg_type, body), timeout=self.timeout
+        )
+        raise_for_error(status, payload, url)
+        return open_envelope(payload, reply)
+
+    def claim(self, worker: str) -> "Mapping | None":
+        body = self._post(
+            "/api/v1/leases/claim",
+            "lease.claim",
+            {"worker": worker},
+            "lease.grant",
+        )
+        lease = body.get("lease") if isinstance(body, Mapping) else None
+        return lease or None
+
+    def complete(self, lease_id: str, results: list) -> None:
+        self._post(
+            f"/api/v1/leases/{lease_id}/complete",
+            "lease.complete",
+            {"results": results},
+            "lease.ack",
+        )
+
+    def fail(self, lease_id: str, reason: str) -> None:
+        self._post(
+            f"/api/v1/leases/{lease_id}/fail",
+            "lease.fail",
+            {"reason": reason},
+            "lease.ack",
+        )
+
+
+@dataclass
+class WorkerStats:
+    """What one worker's :meth:`Worker.run` loop did."""
+
+    claimed: int = 0
+    completed: int = 0
+    failed: int = 0
+    configurations: int = 0
+    crashed: bool = False
+
+
+class Worker:
+    """Pulls leases from a transport and executes them until stopped.
+
+    ``max_leases`` bounds the number of *completed* leases (useful in
+    tests); ``stop_when_idle`` exits once the queue drains instead of
+    polling forever; ``idle_timeout`` bounds how long an idle worker
+    polls before giving up.
+    """
+
+    def __init__(
+        self,
+        transport,
+        worker_id: str = "worker",
+        poll_interval: float = 0.05,
+        max_leases: "int | None" = None,
+        stop_when_idle: bool = False,
+        idle_timeout: "float | None" = None,
+        fault: "str | None" = None,
+    ) -> None:
+        self.transport = transport
+        self.worker_id = str(worker_id)
+        self.poll_interval = poll_interval
+        self.max_leases = max_leases
+        self.stop_when_idle = stop_when_idle
+        self.idle_timeout = idle_timeout
+        if fault is None:
+            fault = os.environ.get(FAULT_ENV)
+        self.fault = _parse_fault(fault)
+        #: Per-job workload memo: rebuild once, reuse for every lease.
+        self._workloads: dict[str, object] = {}
+        load_builtin_components()
+
+    # -- the loop ----------------------------------------------------------
+
+    def run(self, stop_event=None) -> WorkerStats:
+        """Claim-execute-report until stopped; returns loop statistics."""
+        stats = WorkerStats()
+        idle_since: "float | None" = None
+        while not (stop_event is not None and stop_event.is_set()):
+            if (
+                self.max_leases is not None
+                and stats.completed >= self.max_leases
+            ):
+                break
+            lease = self.transport.claim(self.worker_id)
+            if lease is None:
+                if self.stop_when_idle:
+                    break
+                now = time.monotonic()
+                idle_since = idle_since if idle_since is not None else now
+                if (
+                    self.idle_timeout is not None
+                    and now - idle_since > self.idle_timeout
+                ):
+                    break
+                time.sleep(self.poll_interval)
+                continue
+            idle_since = None
+            stats.claimed += 1
+            if self.fault == ("crash", stats.claimed):
+                # Die holding the lease, unreported: the broker's TTL
+                # reaper is the only way this work comes back.
+                stats.crashed = True
+                break
+            lease_id = str(lease["lease"])
+            try:
+                results = self.execute(lease)
+            except Exception as exc:  # noqa: BLE001 — report, keep serving
+                stats.failed += 1
+                self.transport.fail(lease_id, repr(exc))
+                continue
+            if self.fault == ("fail", stats.claimed):
+                stats.failed += 1
+                self.transport.fail(
+                    lease_id, f"injected fault ({FAULT_ENV})"
+                )
+                continue
+            self.transport.complete(lease_id, results)
+            stats.completed += 1
+            stats.configurations += len(results)
+        return stats
+
+    # -- lease execution ---------------------------------------------------
+
+    def _workload_for(self, job_id: str, spec: WorkloadSpec):
+        workload = self._workloads.get(job_id)
+        if workload is None:
+            workload = spec.build()
+            self._workloads[job_id] = workload
+        return workload
+
+    def execute(self, lease: Mapping) -> list[dict]:
+        """Run one lease; returns wire-ready ``{"index", "result"}`` rows."""
+        task = measure_task_from_wire(lease["task"])
+        workload = self._workload_for(str(lease["job"]), task.workload_spec)
+        configs = configs_from_wire(lease["configs"])
+        indices = [int(i) for i in lease["indices"]]
+        if len(configs) != len(indices):
+            raise ServiceError(
+                f"malformed lease {lease.get('lease')!r}: "
+                f"{len(indices)} indices but {len(configs)} configurations"
+            )
+        parameters = tuple(workload.parameters)
+        program = workload.program()
+        setups = [workload.setup(c) for c in configs]
+        keys = [config_key(parameters, c) for c in configs]
+        entry = ENGINE_REGISTRY.entry(task.engine)
+        if entry.metadata.get("supports_batch"):
+            results = run_batch_configurations(
+                program,
+                setups,
+                keys,
+                task.plan,
+                task.noise,
+                task.contention,
+                task.repetitions,
+                task.seed,
+                engine=task.engine,
+            )
+        else:
+            results = [
+                run_configuration(
+                    program,
+                    setup,
+                    task.plan,
+                    task.noise,
+                    task.contention,
+                    task.repetitions,
+                    task.seed,
+                    key,
+                    engine=task.engine,
+                )
+                for setup, key in zip(setups, keys)
+            ]
+        return [
+            {"index": index, "result": config_run_result_to_dict(result)}
+            for index, result in zip(indices, results)
+        ]

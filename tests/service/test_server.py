@@ -1,0 +1,232 @@
+"""The campaign server over real HTTP: submit, poll, resume, recover.
+
+These tests run the stdlib ``ThreadingHTTPServer`` on an ephemeral port
+with worker *threads* speaking :class:`HttpBrokerTransport` — every
+byte crosses a real socket, exactly as in a multi-host deployment.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.core.stages import Campaign
+from repro.errors import ServiceError
+from repro.measure import measurements_to_dict
+from repro.service import (
+    HttpBrokerTransport,
+    RemoteRunCache,
+    RemoteStore,
+    ServiceClient,
+    Worker,
+    serve,
+)
+from repro.service.protocol import PROTOCOL_VERSION, envelope
+from repro.service.remote_store import http_json
+
+SPEC = {
+    "app": "lulesh",
+    "mode": "taint",
+    "repetitions": 2,
+    "seed": 0,
+    "parameters": {"p": [8.0, 27.0], "size": [4.0, 6.0]},
+}
+
+
+@pytest.fixture()
+def server(tmp_path):
+    httpd = serve(tmp_path / "store", port=0, lease_ttl=2.0)
+    threading.Thread(target=httpd.serve_forever, daemon=True).start()
+    host, port = httpd.server_address[:2]
+    try:
+        yield f"http://{host}:{port}", httpd
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+
+
+def attach_workers(url, n, stop, **kw):
+    threads = []
+    for i in range(n):
+        worker = Worker(
+            HttpBrokerTransport(url),
+            worker_id=f"hw{i}",
+            poll_interval=0.02,
+            **kw,
+        )
+        thread = threading.Thread(
+            target=worker.run, args=(stop,), daemon=True
+        )
+        thread.start()
+        threads.append(thread)
+    return threads
+
+
+class TestCampaignLifecycle:
+    def test_submit_resume_and_artifacts(self, server, tmp_path):
+        url, _httpd = server
+        client = ServiceClient(url)
+        assert client.health()["status"] == "ok"
+
+        stop = threading.Event()
+        attach_workers(url, 2, stop)
+        try:
+            first_id = client.submit(SPEC)
+            first = client.wait(first_id, timeout=120)
+            assert first["state"] == "done"
+            assert set(first["stages"].values()) == {"computed"}
+            assert first["profile_executions"] == 4
+
+            # Identical second submission: every stage resumes from the
+            # shared store, zero profile executions anywhere.
+            second = client.wait(client.submit(SPEC), timeout=120)
+            assert second["state"] == "done"
+            assert set(second["stages"].values()) == {"resumed"}
+            assert second["profile_executions"] == 0
+            assert second["fingerprints"] == first["fingerprints"]
+
+            # Distributed fingerprints equal local ones (the scheduler
+            # is not part of any stage identity), so the measure
+            # artifact is byte-shared with a purely local campaign.
+            local = Campaign.from_spec(
+                SPEC, workspace=tmp_path / "local-ws"
+            )
+            local_result = local.run()
+            assert local.fingerprints == first["fingerprints"]
+
+            artifact = client.artifact(first_id, "measure")
+            assert artifact["stage"] == "measure"
+            assert artifact["fingerprint"] == first["fingerprints"]["measure"]
+            wire_measure = artifact["payload"]["measurements"]
+            assert wire_measure == json.loads(
+                json.dumps(
+                    measurements_to_dict(local_result.measurements)
+                )
+            )
+        finally:
+            stop.set()
+
+    def test_worker_death_mid_campaign_recovers(self, server):
+        url, _httpd = server
+        client = ServiceClient(url)
+        stop = threading.Event()
+        # One worker dies holding its first lease; one healthy worker
+        # picks up the reaped lease after the 2s TTL.
+        attach_workers(url, 1, stop, fault="crash:1")
+        attach_workers(url, 1, stop)
+        try:
+            status = client.wait(client.submit(SPEC), timeout=180)
+            assert status["state"] == "done"
+            assert status["stages"]["measure"] == "computed"
+        finally:
+            stop.set()
+
+    def test_bad_spec_rejected_with_spec_error(self, server):
+        url, _httpd = server
+        client = ServiceClient(url)
+        with pytest.raises(ServiceError, match="app"):
+            client.submit({"app": "no-such-app", "parameters": {"p": [1.0]}})
+        with pytest.raises(ServiceError, match="spec"):
+            client.submit({"app": "lulesh", "nonsense_key": 1,
+                           "parameters": {"p": [1.0]}})
+
+    def test_unknown_campaign_is_404(self, server):
+        url, _httpd = server
+        with pytest.raises(ServiceError, match="unknown campaign"):
+            ServiceClient(url).status("C999")
+
+    def test_unknown_stage_rejected(self, server):
+        url, _httpd = server
+        with pytest.raises(ServiceError, match="unknown stage"):
+            ServiceClient(url).artifact("C999", "transmogrify")
+
+
+class TestProtocolEnforcement:
+    def test_version_skew_rejected(self, server):
+        url, _httpd = server
+        message = envelope("lease.claim", {"worker": "w0"})
+        message["protocol"] = PROTOCOL_VERSION + 1
+        status, body = http_json(
+            "POST", f"{url}/api/v1/leases/claim", message
+        )
+        assert status == 400
+        assert body["body"]["kind"] == "ProtocolVersionMismatch"
+
+    def test_non_json_body_rejected(self, server):
+        url, _httpd = server
+        import urllib.request
+
+        request = urllib.request.Request(
+            f"{url}/api/v1/campaigns",
+            data=b"not json",
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            urllib.request.urlopen(request)
+            raise AssertionError("expected HTTP 400")
+        except urllib.error.HTTPError as err:
+            assert err.code == 400
+
+    def test_unknown_path_is_404(self, server):
+        url, _httpd = server
+        status, _ = http_json("GET", f"{url}/api/v1/flux")
+        assert status == 404
+
+    def test_unreachable_server_error_is_actionable(self):
+        client = ServiceClient("http://127.0.0.1:1")  # nothing listens
+        with pytest.raises(ServiceError, match="repro serve"):
+            client.health()
+
+
+class TestRemoteStore:
+    def test_get_put_has_round_trip(self, server):
+        url, _httpd = server
+        store = RemoteStore(url)
+        assert not store.has("runs", "deadbeef")
+        assert store.get("runs", "deadbeef") is None
+        payload = {"values": [0.1, 2.0 / 3.0], "nested": {"a": 1}}
+        store.put("runs", "deadbeef", payload)
+        assert store.has("runs", "deadbeef")
+        assert store.get("runs", "deadbeef") == payload
+
+    def test_invalid_key_rejected_client_side(self, server):
+        url, _httpd = server
+        store = RemoteStore(url)
+        with pytest.raises(ServiceError, match="invalid store"):
+            store.put("runs", "../escape", {})
+
+    def test_remote_run_cache_round_trip(self, server):
+        from repro.apps.synthetic import (
+            SyntheticWorkload,
+            build_foo_example,
+        )
+        from repro.measure import full_plan
+        from repro.measure.experiment import run_configuration
+        from repro.measure.noise import GaussianNoise
+        from repro.mpisim.contention import NoContention
+
+        url, _httpd = server
+        workload = SyntheticWorkload(
+            builder=build_foo_example, parameters=("a", "b")
+        )
+        result = run_configuration(
+            workload.program(),
+            workload.setup({"a": 2.0, "b": 3.0}),
+            full_plan(workload.program()),
+            GaussianNoise(),
+            NoContention(),
+            2,
+            0,
+            (2.0, 3.0),
+        )
+        cache = RemoteRunCache(RemoteStore(url))
+        assert cache.get("fp0") is None
+        cache.put("fp0", result)
+        loaded = cache.get("fp0")
+        assert loaded is not None
+        assert loaded.cached is True
+        assert loaded.key == result.key
+        assert loaded.samples == result.samples
