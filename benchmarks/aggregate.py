@@ -48,6 +48,7 @@ HEADLINE_KEYS = {
     "parallel_scaling": "speedup",
     "batch_speedup": "speedup",
     "service": "speedup",
+    "sched_throughput": "speedup",
 }
 
 #: ``--check`` fails when a headline speedup drops below this fraction

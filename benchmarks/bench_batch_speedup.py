@@ -73,10 +73,19 @@ def test_batch_speedup():
     serial_time, (m_serial, p_serial) = _time_runner(
         ExperimentRunner(**kwargs), design
     )
+    batched_runner = BatchedExperimentRunner(**kwargs)
     batched_time, (m_batched, p_batched) = _time_runner(
-        BatchedExperimentRunner(**kwargs), design
+        batched_runner, design
     )
     speedup = serial_time / batched_time
+
+    # Lane accounting: the planned grid is (configurations x repetitions)
+    # but repetitions are pure dedup gain — the engine must execute one
+    # representative lane per configuration, i.e. <= 1/R of the grid.
+    lanes = batched_runner.last_lane_stats
+    assert lanes.planned == len(design) * repetitions
+    assert lanes.executed == len(design)
+    assert lanes.executed * repetitions <= lanes.planned
 
     # The speedup must never come at the cost of a single diverging bit:
     # same samples, same call counts, same per-configuration profiles.
@@ -102,6 +111,8 @@ def test_batch_speedup():
         f"{'batched':>10}  {batched_time:>9.3f}",
         "",
         f"batched-runner speedup: {speedup:.2f}x (bar: {min_speedup:.1f}x)",
+        f"lanes: {lanes.planned} planned, {lanes.executed} executed "
+        f"({lanes.deduped} deduplicated — 1/{repetitions} of the grid)",
         "measurements bit-identical: yes",
     ]
     report(
@@ -116,6 +127,9 @@ def test_batch_speedup():
             "speedup": speedup,
             "min_speedup_bar": min_speedup,
             "measurements_identical": identical,
+            "lanes_planned": lanes.planned,
+            "lanes_executed": lanes.executed,
+            "lanes_deduped": lanes.deduped,
         },
     )
 

@@ -245,6 +245,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     print()
     for stage_name, how in campaign.stage_stats.items():
         print(f"  {stage_name:<9} {how}")
+    lanes = campaign.measure_telemetry.get("lanes")
+    if lanes:
+        print(
+            f"  lanes     {lanes['planned']} planned, "
+            f"{lanes['executed']} executed, "
+            f"{lanes['deduped']} deduplicated"
+        )
     print(f"{campaign.stats_line()} in {elapsed:.2f}s")
     if campaign.workspace is not None:
         print(f"workspace: {campaign.workspace.root}")
@@ -347,6 +354,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         f"{runner.last_stats.cached} from cache) "
         f"with {args.jobs} job(s) in {elapsed:.2f}s"
     )
+    lane_stats = getattr(runner, "last_lane_stats", None)
+    if lane_stats is not None and lane_stats.planned:
+        print(
+            f"lanes: {lane_stats.planned} planned "
+            f"(configurations x repetitions), "
+            f"{lane_stats.executed} executed, "
+            f"{lane_stats.deduped} deduplicated"
+        )
     print(
         f"collected {samples} measurements over "
         f"{len(measurements.functions())} functions"
@@ -445,6 +460,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_attempts=args.max_attempts,
         chunk_size=args.chunk_size,
         verbose=args.verbose,
+        target_lease_seconds=args.target_lease_seconds,
     )
     host, port = httpd.server_address[:2]
     print(f"campaign server on http://{host}:{port} (store: {args.store})")
@@ -471,6 +487,7 @@ def cmd_worker(args: argparse.Namespace) -> int:
         max_leases=args.max_leases,
         stop_when_idle=args.stop_when_idle,
         idle_timeout=args.idle_timeout,
+        batch=not args.no_batch,
     )
     print(f"worker '{args.id}' pulling leases from {args.server}")
     try:
@@ -499,11 +516,42 @@ def cmd_submit(args: argparse.Namespace) -> int:
     return 0 if status.get("state") == "done" else 1
 
 
+def _print_telemetry(telemetry: dict) -> None:
+    workers = telemetry.get("workers") or []
+    leases = telemetry.get("leases") or []
+    print(f"workers ({len(workers)}):")
+    for w in workers:
+        rate = w.get("lanes_per_sec")
+        rate_text = f"{rate:g} lanes/s" if rate is not None else "rate unknown"
+        mode = "batch" if w.get("supports_batch") else "scalar"
+        print(
+            f"  {w.get('worker'):<12} {mode:<6} {rate_text:<16} "
+            f"{w.get('leases_completed')} lease(s), "
+            f"{w.get('lanes_completed')} lane(s)"
+        )
+    print(f"leases ({len(leases)}):")
+    for r in leases:
+        seconds = r.get("seconds")
+        timing = f"{seconds:.3f}s" if seconds is not None else "-"
+        splits = r.get("splits") or 0
+        split_text = f", {splits} split(s)" if splits else ""
+        print(
+            f"  {r.get('lease'):<6} {r.get('job'):<5} "
+            f"{str(r.get('worker')):<12} {r.get('status'):<9} "
+            f"{r.get('configurations')} cfg(s), "
+            f"attempt {r.get('attempt')}, {timing}{split_text}"
+        )
+
+
 def cmd_status(args: argparse.Namespace) -> int:
     from .service import ServiceClient
 
-    status = ServiceClient(args.server).status(args.id)
+    client = ServiceClient(args.server)
+    status = client.status(args.id)
     _print_campaign_status(status)
+    if args.telemetry:
+        print()
+        _print_telemetry(client.telemetry())
     return 0
 
 
@@ -726,7 +774,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk-size",
         type=_positive_int,
         default=None,
-        help="configurations per lease (default: split evenly)",
+        help="configurations per lease (default: adaptive — sized per "
+        "worker from measured lanes/sec)",
+    )
+    p.add_argument(
+        "--target-lease-seconds",
+        type=float,
+        default=None,
+        help="adaptive lease sizing aims each lease at this wall-clock "
+        "duration (default: 2.0; ignored with --chunk-size)",
     )
     p.add_argument("--verbose", action="store_true", help="log HTTP requests")
     p.set_defaults(func=cmd_serve)
@@ -756,6 +812,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="exit after this many idle seconds",
     )
+    p.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="execute leases configuration by configuration even on "
+        "batch-capable engines (bit-identical; advertises the reduced "
+        "capability so the broker sizes leases accordingly)",
+    )
     p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser(
@@ -782,6 +845,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("id", help="campaign id returned by submit")
     _add_server_arg(p)
+    p.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="also print per-lease timing/attempts and per-worker "
+        "rate estimates from the broker",
+    )
     p.set_defaults(func=cmd_status)
     return parser
 

@@ -224,6 +224,7 @@ def run_measure_stage(
     cache_dir: "str | None" = None,
     engine: str = DEFAULT_MEASUREMENT_ENGINE,
     scheduler: "MeasureScheduler | None" = None,
+    telemetry: "dict | None" = None,
 ) -> tuple[Measurements, dict[ConfigKey, ProfileResult]]:
     """Run the instrumented experiments.
 
@@ -235,6 +236,10 @@ def run_measure_stage(
     process-pool runner handles ``n_jobs > 1`` or a run cache, and the
     plain serial runner everything else.  All paths produce bit-identical
     measurements.
+
+    A *telemetry* dict, when given, is filled in place with execution
+    accounting (currently the batched runner's lane plan under
+    ``"lanes"``).  Telemetry never enters any stage fingerprint.
     """
     if scheduler is not None:
         return scheduler.run_measure(
@@ -259,7 +264,15 @@ def run_measure_stage(
             n_jobs=n_jobs,
             cache_dir=cache_dir,
         )
-        return runner.run(design)
+        value = runner.run(design)
+        if telemetry is not None:
+            lanes = runner.last_lane_stats
+            telemetry["lanes"] = {
+                "planned": lanes.planned,
+                "executed": lanes.executed,
+                "deduped": lanes.deduped,
+            }
+        return value
     if n_jobs > 1 or cache_dir is not None:
         runner = ParallelExperimentRunner(
             workload=workload,
@@ -480,6 +493,7 @@ STAGES: dict[str, Stage] = {
                 cache_dir=c.cache_dir,
                 engine=c.engine,
                 scheduler=c.scheduler,
+                telemetry=c.measure_telemetry,
             ),
             config=lambda c: {
                 "workload": workload_repr(c.workload),
@@ -604,6 +618,9 @@ class Campaign:
         #: Per-stage provenance of the most recent :meth:`run`:
         #: ``"computed"`` or ``"resumed"``.
         self.stage_stats: dict[str, str] = {}
+        #: Measure-stage execution accounting of the most recent run
+        #: (lane plan etc.); never part of any stage fingerprint.
+        self.measure_telemetry: dict = {}
 
     # -- memoized workload state ---------------------------------------
 
@@ -662,6 +679,7 @@ class Campaign:
         self.artifacts = {}
         self.fingerprints = {}
         self.stage_stats = {}
+        self.measure_telemetry = {}
         for stage in STAGES.values():
             missing = [n for n in stage.inputs if n not in self.artifacts]
             if missing:  # pragma: no cover - graph is declared in order

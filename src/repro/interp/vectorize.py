@@ -1615,3 +1615,72 @@ class VectorizedEngine:
         for sub in plan.nested:
             self._plan_into(sub, tbl, frame, idx, acc, sub_mult, valid)
         return True
+
+
+# ----------------------------------------------------------------------
+# lane identity (dedup support for the measurement layer)
+
+#: Entry-argument types whose repr is a complete value identity.  An
+#: ``Array`` (or any other object) may alias or mutate, so lanes holding
+#: one never dedup.
+_SIGNATURE_TYPES = (bool, int, float, str)
+
+
+def lane_signature(args, runtime=None) -> "str | None":
+    """Stable identity of one batch lane, or ``None`` when unprovable.
+
+    Two lanes with equal signatures are guaranteed to execute
+    identically: engine runs are deterministic functions of the entry
+    arguments and the library runtime, so equal inputs yield bit-equal
+    :class:`~repro.interp.metrics.RunResult`/profile outcomes.  The
+    runtime participates the same way it does in the run-cache
+    fingerprint (``repr`` of its ``config``); a runtime type carrying
+    state outside a ``config`` attribute cannot prove identity and
+    disables dedup for its lane (``None``), as does any non-scalar
+    entry argument.
+    """
+    parts: list[str] = []
+    items = (
+        sorted(args.items()) if hasattr(args, "items") else enumerate(args)
+    )
+    for name, value in items:
+        if value is not None and type(value) not in _SIGNATURE_TYPES:
+            return None
+        parts.append(f"{name}={type(value).__name__}:{value!r}")
+    if runtime is None:
+        rt = "none"
+    elif hasattr(runtime, "config"):
+        rt = f"{type(runtime).__name__}:{runtime.config!r}"
+    elif type(runtime) is NoLibraryRuntime:
+        rt = "NoLibraryRuntime"
+    else:
+        return None  # stateful runtime without a declared config
+    return f"args({', '.join(parts)}) runtime({rt})"
+
+
+def plan_unique_lanes(
+    args_list, runtimes=None
+) -> "tuple[list[int], list[int]]":
+    """Collapse duplicate lanes of a planned batch.
+
+    Returns ``(representatives, slot_to_rep)``: ``representatives`` are
+    the original slot indices to actually execute (in first-occurrence
+    order), and ``slot_to_rep[slot]`` maps every original slot to its
+    position in ``representatives``.  Lanes whose
+    :func:`lane_signature` is ``None`` always represent themselves.
+    """
+    if runtimes is None:
+        runtimes = [None] * len(args_list)
+    representatives: list[int] = []
+    slot_to_rep: list[int] = []
+    seen: dict[str, int] = {}
+    for slot, (args, runtime) in enumerate(zip(args_list, runtimes)):
+        signature = lane_signature(args, runtime)
+        rep = seen.get(signature) if signature is not None else None
+        if rep is None:
+            rep = len(representatives)
+            representatives.append(slot)
+            if signature is not None:
+                seen[signature] = rep
+        slot_to_rep.append(rep)
+    return representatives, slot_to_rep

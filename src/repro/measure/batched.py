@@ -54,7 +54,7 @@ from .parallel import (
     spec_of,
     workload_repr,
 )
-from .profiler import APP_KEY, ProfileResult, profile_run_batch
+from .profiler import APP_KEY, ProfileNode, ProfileResult, profile_run_batch
 
 #: Default batched engine (the only built-in with ``supports_batch``).
 DEFAULT_BATCH_ENGINE = "vectorized"
@@ -64,16 +64,18 @@ def batch_chunks(
     pending: Sequence[int],
     setups: Sequence[RunSetup],
     batch_size: "int | None" = None,
-    n_jobs: int = 1,
+    n_jobs: "int | None" = 1,
 ) -> list[list[int]]:
     """Split design indices into batchable chunks, preserving order.
 
     Lanes of one engine pass must share ``exec_config`` and ``entry``;
-    within each such group, ``batch_size`` (or an even ``n_jobs`` split)
-    bounds the chunk length.  Shared by :class:`BatchedExperimentRunner`
-    and the campaign-service broker, whose leases are exactly these
-    chunks — so a lease handed to a batch-capable worker is always
-    executable as one tensor pass.
+    within each such group, ``batch_size`` caps the chunk length, or an
+    ``n_jobs`` hint splits the group into ``min(n_jobs, len)`` balanced
+    chunks (sizes differing by at most one, so no worker idles on an
+    uneven split; ``None`` counts as 1).  Shared by
+    :class:`BatchedExperimentRunner` and the campaign-service broker,
+    whose leases are exactly these chunks — so a lease handed to a
+    batch-capable worker is always executable as one tensor pass.
     """
     groups: list[tuple[tuple, list[int]]] = []
     for index in pending:
@@ -84,15 +86,113 @@ def batch_chunks(
             groups.append((marker, [index]))
     chunks: list[list[int]] = []
     for _marker, members in groups:
-        limit = batch_size
-        if limit is None and n_jobs > 1:
-            limit = max(1, -(-len(members) // n_jobs))
-        if limit is None:
-            chunks.append(members)
+        if batch_size is not None:
+            for at in range(0, len(members), batch_size):
+                chunks.append(members[at : at + batch_size])
+        elif n_jobs is not None and n_jobs > 1:
+            parts = min(n_jobs, len(members))
+            base, extra = divmod(len(members), parts)
+            at = 0
+            for part in range(parts):
+                size = base + (1 if part < extra else 0)
+                chunks.append(members[at : at + size])
+                at += size
         else:
-            for at in range(0, len(members), limit):
-                chunks.append(members[at : at + limit])
+            chunks.append(members)
     return chunks
+
+
+@dataclass(frozen=True)
+class LaneStats:
+    """Accounting over the planned ``(configuration x repetition)`` grid.
+
+    ``planned`` counts every lane of the grid a sweep asks for;
+    ``executed`` counts the representative lanes the engine actually ran
+    after dedup (repetitions of a deterministic run and repeated design
+    points share one representative).  ``deduped`` is the work avoided.
+    """
+
+    planned: int = 0
+    executed: int = 0
+
+    @property
+    def deduped(self) -> int:
+        return self.planned - self.executed
+
+    def merged(self, other: "LaneStats") -> "LaneStats":
+        return LaneStats(
+            planned=self.planned + other.planned,
+            executed=self.executed + other.executed,
+        )
+
+
+def plan_lanes(
+    setups: Sequence[RunSetup], repetitions: int = 1
+) -> tuple[list[int], list[int], LaneStats]:
+    """Plan the ``(configuration x repetition)`` grid as engine lanes.
+
+    Every configuration of *setups* times every repetition is one
+    planned lane; lanes whose configuration identity
+    (:func:`~repro.interp.vectorize.lane_signature` over entry args and
+    runtime, plus ``entry``/``exec_config``) is equal collapse into one
+    representative engine lane.  Returns ``(representatives,
+    slot_to_rep, stats)`` where ``representatives`` are setup indices to
+    execute, ``slot_to_rep[slot]`` maps each setup slot to its
+    representative's position, and ``stats`` counts planned vs executed
+    lanes.  Repetitions never need extra engine lanes (noise streams are
+    drawn per ``(function, key, repetition)`` downstream), so they are
+    pure dedup gain in the accounting.
+    """
+    from ..interp.vectorize import lane_signature
+
+    representatives: list[int] = []
+    slot_to_rep: list[int] = []
+    seen: dict[tuple, int] = {}
+    for slot, setup in enumerate(setups):
+        signature = lane_signature(setup.args, setup.runtime)
+        rep = None
+        if signature is not None:
+            key = (setup.entry, repr(setup.exec_config), signature)
+            rep = seen.get(key)
+        if rep is None:
+            rep = len(representatives)
+            representatives.append(slot)
+            if signature is not None:
+                seen[key] = rep
+        slot_to_rep.append(rep)
+    stats = LaneStats(
+        planned=len(setups) * max(1, repetitions),
+        executed=len(representatives),
+    )
+    return representatives, slot_to_rep, stats
+
+
+def _broadcast_profile(profile: ProfileResult, factor: float) -> ProfileResult:
+    """A duplicate slot's own :class:`ProfileResult`, copied from its
+    representative lane with the slot's contention factor.
+
+    Fresh :class:`ProfileNode` objects in the representative's insertion
+    order: node values are factor-independent (contention applies at
+    query time), so the copy is bit-identical to what the slot's own
+    engine lane would have produced.
+    """
+    nodes = {
+        path: ProfileNode(
+            callpath=node.callpath,
+            calls=node.calls,
+            compute=node.compute,
+            memory=node.memory,
+            comm=node.comm,
+            overhead=node.overhead,
+        )
+        for path, node in profile.nodes.items()
+    }
+    return ProfileResult(
+        plan=profile.plan,
+        nodes=nodes,
+        contention_factor=factor,
+        loop_iterations=dict(profile.loop_iterations),
+    )
 
 
 def require_batch_engine(engine: str) -> None:
@@ -118,6 +218,7 @@ def run_batch_configurations(
     repetitions: int,
     seed: int,
     engine: str = DEFAULT_BATCH_ENGINE,
+    dedup: bool = True,
 ) -> list[ConfigRunResult]:
     """Batched twin of :func:`~repro.measure.experiment.run_configuration`.
 
@@ -125,18 +226,36 @@ def run_batch_configurations(
     ``exec_config`` and ``entry`` — the engine compiles one program
     against one execution config), then one noise block covering every
     (function, key, repetition) triple of the whole chunk.
+
+    With *dedup* (the default), setups with identical configuration
+    identity (:func:`plan_lanes`) share one representative engine lane
+    whose profile is broadcast back to every duplicate slot — noise
+    streams still come from each slot's own ``(function, key,
+    repetition)`` triples, so the results are bit-identical to running
+    every slot as its own lane.
     """
     factors = [contention.factor(s.ranks_per_node) for s in setups]
-    profiles = profile_run_batch(
+    if dedup:
+        representatives, slot_to_rep, _ = plan_lanes(setups)
+    else:
+        representatives = list(range(len(setups)))
+        slot_to_rep = list(range(len(setups)))
+    rep_profiles = profile_run_batch(
         program,
-        [s.args for s in setups],
+        [setups[i].args for i in representatives],
         plan,
-        runtimes=[s.runtime for s in setups],
+        runtimes=[setups[i].runtime for i in representatives],
         exec_config=setups[0].exec_config,
-        contention_factors=factors,
+        contention_factors=[factors[i] for i in representatives],
         entry=setups[0].entry,
         engine=engine,
     )
+    profiles = [
+        rep_profiles[rep]
+        if representatives[rep] == slot
+        else _broadcast_profile(rep_profiles[rep], factors[slot])
+        for slot, rep in enumerate(slot_to_rep)
+    ]
     results: list[ConfigRunResult] = []
     items: list[tuple[str, ConfigKey, float]] = []
     spans: list[tuple[int, int]] = []
@@ -179,6 +298,7 @@ class _BatchTask:
     seed: int
     keys: tuple[ConfigKey, ...]
     engine: str = DEFAULT_BATCH_ENGINE
+    dedup: bool = True
 
 
 def _run_batch_task(
@@ -197,6 +317,7 @@ def _run_batch_task(
         task.repetitions,
         task.seed,
         engine=task.engine,
+        dedup=task.dedup,
     )
     return list(zip(task.indices, results))
 
@@ -227,6 +348,7 @@ class BatchedExperimentRunner:
     batch_size: int | None = None
     n_jobs: int = 1
     cache_dir: str | pathlib.Path | None = None
+    dedup: bool = True
 
     def __post_init__(self) -> None:
         if self.n_jobs < 1:
@@ -240,6 +362,7 @@ class BatchedExperimentRunner:
             RunCache(self.cache_dir) if self.cache_dir is not None else None
         )
         self.last_stats = RunStats()
+        self.last_lane_stats = LaneStats()
 
     # -- cache keys --------------------------------------------------------
 
@@ -295,8 +418,23 @@ class BatchedExperimentRunner:
                     continue
             pending.append(index)
 
+        lane_stats = LaneStats()
         if pending:
             chunks = self._chunks(pending, setups)
+            # Driver-side lane accounting: execution-side dedup is
+            # deterministic per chunk, so the plan sum equals what the
+            # workers actually run — also with n_jobs > 1.
+            for chunk in chunks:
+                if self.dedup:
+                    _, _, stats = plan_lanes(
+                        [setups[i] for i in chunk], self.repetitions
+                    )
+                else:
+                    stats = LaneStats(
+                        planned=len(chunk) * max(1, self.repetitions),
+                        executed=len(chunk),
+                    )
+                lane_stats = lane_stats.merged(stats)
             if self.n_jobs == 1:
                 for chunk in chunks:
                     chunk_results = run_batch_configurations(
@@ -309,6 +447,7 @@ class BatchedExperimentRunner:
                         self.repetitions,
                         self.seed,
                         engine=self.engine,
+                        dedup=self.dedup,
                     )
                     for i, result in zip(chunk, chunk_results):
                         results[i] = result
@@ -322,6 +461,7 @@ class BatchedExperimentRunner:
             executed=sum(1 for r in results if not r.cached),
             cached=sum(1 for r in results if r.cached),
         )
+        self.last_lane_stats = lane_stats
         return merge_results_dense(parameters, results)
 
     def _chunks(
@@ -353,6 +493,7 @@ class BatchedExperimentRunner:
                 seed=self.seed,
                 keys=tuple(keys[i] for i in chunk),
                 engine=self.engine,
+                dedup=self.dedup,
             )
             for chunk in chunks
         ]

@@ -29,6 +29,8 @@ front doors are ``repro serve``, ``repro worker``, ``repro submit``, and
 from .broker import Broker, BrokerScheduler, Lease, MeasureJob
 from .protocol import (
     PROTOCOL_VERSION,
+    capability_from_wire,
+    capability_to_wire,
     envelope,
     from_wire,
     measure_task_from_wire,
@@ -62,6 +64,8 @@ __all__ = [
     "ServiceClient",
     "SharedWorkspace",
     "Worker",
+    "capability_from_wire",
+    "capability_to_wire",
     "envelope",
     "from_wire",
     "measure_task_from_wire",

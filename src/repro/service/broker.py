@@ -1,41 +1,60 @@
-"""The measure-stage broker: leases out chunks, merges in design order.
+"""The measure-stage broker: adaptive leases, merged in design order.
 
 The broker owns one side of the campaign service's central invariant:
 
-    *for any worker count and any failure schedule, a distributed
-    measure stage is bit-identical to the single-process runners.*
+    *for any worker count, worker mix, lease sizing, and failure
+    schedule, a distributed measure stage is bit-identical to the
+    single-process runners.*
 
 It holds that invariant the same way the process-pool runners do —
 workers only ever compute :class:`~repro.measure.experiment.ConfigRunResult`
 values whose noise streams are derived purely from
 ``(seed, function, configuration key, repetition)``, and the broker
 merges them **by design index**, never by completion order.  Which
-worker ran a chunk, how chunks were sized, and how many times a lease
-was re-queued after a crash are all invisible in the output.
+worker ran a chunk, how chunks were sized, and how many times work was
+re-queued after a crash are all invisible in the output.
+
+Capability-aware leases: pending work lives in design-ordered pools
+(one per ``exec_config``/``entry`` group, the unit a batch-capable
+worker can run as one tensor pass), and every :meth:`Broker.claim` cuts
+a lease sized to the *claiming* worker — workers advertise
+``supports_batch`` and a measured lanes/sec capability in their claim,
+the broker folds per-lease wall-clock telemetry into a per-worker rate
+estimate (EWMA), and sizes each lease to ``target_lease_seconds`` of
+that worker's work.  A batch-capable worker on a batch job gets a big
+tensor chunk; a scalar worker gets a one-configuration probe until its
+rate is known.  When the pools are dry, a claim may instead **split a
+straggler**: the tail half of the longest-held active lease (bounded by
+``max_splits``) is ceded to the idle claimant, and whichever copy
+reports first wins — duplicated work is the designed cost, never
+corruption.
 
 Fault tolerance is lease-based: a claim carries a TTL; leases that are
-neither completed nor failed before the deadline are reaped and
-re-queued (the crashed-worker path), and explicit failures re-queue
-immediately.  After ``max_attempts`` attempts a lease poisons its job
-with a :class:`~repro.errors.LeaseTimeout` naming the lease, the job,
-and the affected fingerprints.
+neither completed nor failed before the deadline are reaped and their
+unfinished configurations re-pooled (the crashed-worker path), and
+explicit failures re-pool immediately.  Attempts are tracked **per
+configuration** (they follow the work across re-leases); after
+``max_attempts`` a configuration poisons its job with a
+:class:`~repro.errors.LeaseTimeout` naming the lease, the job, and the
+affected fingerprints.
 
 Fleet-wide dedupe: given a store, the broker checks the ``runs``
 namespace (keyed by
 :func:`~repro.measure.parallel.configuration_fingerprint`) before
-leasing, and publishes completed results back — so two campaigns
-sharing configurations execute each profiled run once between them.
-
-Chunking reuses :func:`~repro.measure.batched.batch_chunks`, so every
-lease's configurations share ``exec_config`` and ``entry`` and a
-batch-capable worker can execute the whole lease as one tensor pass.
+pooling — one batched ``has_many`` round trip when the store supports
+it — and publishes completed results back, so two campaigns sharing
+configurations execute each profiled run once between them.  Within a
+job, design indices sharing a fingerprint lease only their first
+occurrence; the result is broadcast to the duplicates on arrival.
 """
 
 from __future__ import annotations
 
+import bisect
 import itertools
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -63,18 +82,25 @@ from ..measure.parallel import (
 from ..mpisim.contention import ContentionModel
 from ..measure.noise import NoiseModel
 from ..measure.profiler import ProfileResult
+from ..registry import ENGINE_REGISTRY, load_builtin_components
 from .protocol import configs_to_wire, measure_task_to_wire
 from .remote_store import RUNS_NAMESPACE
 
 #: Default seconds a claimed lease may stay unreported before reaping.
 DEFAULT_LEASE_TTL = 30.0
-#: Default attempts per lease before the job fails with LeaseTimeout.
+#: Default attempts per configuration before LeaseTimeout poisons the job.
 DEFAULT_MAX_ATTEMPTS = 3
+#: Default seconds of work one adaptive lease should hand a worker.
+DEFAULT_TARGET_LEASE_SECONDS = 2.0
+#: Bound on how many times one lease's tail may be ceded to idle workers.
+DEFAULT_MAX_SPLITS = 2
+#: Bound on the per-lease telemetry log.
+_TELEMETRY_LOG_LIMIT = 256
 
 
 @dataclass
 class Lease:
-    """One claimable chunk of a measure job."""
+    """One claimed chunk of a measure job."""
 
     lease_id: str
     job_id: str
@@ -83,6 +109,20 @@ class Lease:
     worker: "str | None" = None
     #: ``time.monotonic`` deadline while claimed, else None.
     deadline: "float | None" = None
+    #: ``time.monotonic`` when the lease was granted.
+    claimed_at: "float | None" = None
+    #: How often this lease's tail was ceded to an idle claimant.
+    splits: int = 0
+    #: Indices ceded to a straggler-split lease (still valid to report).
+    ceded: set[int] = field(default_factory=set)
+
+    def live_indices(self, results: Sequence) -> list[int]:
+        """Indices this lease still owns and that are still unfilled."""
+        return [
+            i
+            for i in self.indices
+            if i not in self.ceded and results[i] is None
+        ]
 
 
 @dataclass
@@ -101,14 +141,47 @@ class MeasureJob:
     executed: int = 0
     error: "Exception | None" = None
     done: threading.Event = field(default_factory=threading.Event)
+    #: Pending design indices, pooled per exec_config/entry group in
+    #: design order — the unit one tensor pass may span.
+    pending_groups: list[list[int]] = field(default_factory=list)
+    #: Design index -> position of its pool in ``pending_groups``.
+    group_of: dict[int, int] = field(default_factory=dict)
+    #: Design index -> failed attempts so far (follows the work).
+    attempts: dict[int, int] = field(default_factory=dict)
+    #: The job's engine carries ``supports_batch`` metadata.
+    batch_capable: bool = False
+    #: Fingerprint-duplicate broadcast: leased leader -> duplicate indices.
+    duplicates: dict[int, list[int]] = field(default_factory=dict)
 
     @property
     def remaining(self) -> int:
         return sum(1 for r in self.results if r is None)
 
+    @property
+    def pending(self) -> int:
+        return sum(len(group) for group in self.pending_groups)
+
+
+@dataclass
+class _WorkerState:
+    """What the broker knows about one claiming worker."""
+
+    name: str
+    supports_batch: bool = True
+    #: Self-measured lanes/sec from the worker's claim envelope.
+    reported_rate: "float | None" = None
+    #: Broker-side EWMA over per-lease wall-clock completions.
+    rate: "float | None" = None
+    leases_completed: int = 0
+    lanes_completed: int = 0
+
+    @property
+    def best_rate(self) -> "float | None":
+        return self.rate if self.rate is not None else self.reported_rate
+
 
 class Broker:
-    """Splits measure stages into leases and merges worker results.
+    """Pools measure work, leases it per worker, merges in design order.
 
     Thread-safe: the campaign server drives it from HTTP handler threads
     and the in-process tests from plain worker threads, through the same
@@ -122,6 +195,9 @@ class Broker:
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         chunk_size: "int | None" = None,
         workers_hint: int = 4,
+        target_lease_seconds: float = DEFAULT_TARGET_LEASE_SECONDS,
+        straggler_grace: "float | None" = None,
+        max_splits: int = DEFAULT_MAX_SPLITS,
     ) -> None:
         if lease_ttl <= 0:
             raise ValueError(f"lease_ttl must be > 0, got {lease_ttl}")
@@ -129,16 +205,30 @@ class Broker:
             raise ValueError(
                 f"max_attempts must be >= 1, got {max_attempts}"
             )
+        if target_lease_seconds <= 0:
+            raise ValueError(
+                "target_lease_seconds must be > 0, got "
+                f"{target_lease_seconds}"
+            )
         self.store = store
         self.lease_ttl = float(lease_ttl)
         self.max_attempts = int(max_attempts)
         self.chunk_size = chunk_size
         self.workers_hint = max(1, int(workers_hint))
+        self.target_lease_seconds = float(target_lease_seconds)
+        self.straggler_grace = (
+            float(straggler_grace)
+            if straggler_grace is not None
+            else min(self.lease_ttl / 2.0, 2.0 * self.target_lease_seconds)
+        )
+        self.max_splits = max(0, int(max_splits))
         self._lock = threading.Lock()
         self._jobs: dict[str, MeasureJob] = {}
-        self._queue: list[Lease] = []
         self._active: dict[str, Lease] = {}
+        self._workers: dict[str, _WorkerState] = {}
+        self._lease_log: "OrderedDict[str, dict]" = OrderedDict()
         self._ids = itertools.count(1)
+        load_builtin_components()
 
     # -- submission --------------------------------------------------------
 
@@ -157,8 +247,9 @@ class Broker:
         """Queue one measure stage; returns the job id.
 
         The design is fingerprinted configuration by configuration;
-        store hits are adopted immediately (``cached``), misses become
-        leases in canonical design order.
+        store hits are adopted immediately (``cached``), within-job
+        fingerprint duplicates lease only their first occurrence, and
+        the remaining misses are pooled in canonical design order.
         """
         configs = [dict(c) for c in design]
         parameters = tuple(workload.parameters)
@@ -183,16 +274,29 @@ class Broker:
             for i in range(len(configs))
         ]
 
+        hits = self._store_hits(fingerprints)
         results: "list[ConfigRunResult | None]" = [None] * len(configs)
         pending: list[int] = []
+        duplicates: dict[int, list[int]] = {}
+        leader_of: dict[str, int] = {}
         for index in range(len(configs)):
-            hit = self._store_get(fingerprints[index])
+            hit = hits.get(fingerprints[index])
             if hit is not None:
-                hit.cached = True
                 results[index] = hit
-            else:
-                pending.append(index)
+                continue
+            leader = leader_of.get(fingerprints[index])
+            if leader is not None:
+                duplicates.setdefault(leader, []).append(index)
+                continue
+            leader_of[fingerprints[index]] = index
+            pending.append(index)
 
+        try:
+            batch_capable = bool(
+                ENGINE_REGISTRY.entry(engine).metadata.get("supports_batch")
+            )
+        except Exception:
+            batch_capable = False
         task_wire = measure_task_to_wire(
             workload, plan, noise, contention, repetitions, seed, engine
         )
@@ -207,22 +311,49 @@ class Broker:
                 fingerprints=fingerprints,
                 task_wire=task_wire,
                 results=results,
-                cached=len(configs) - len(pending),
+                cached=sum(1 for r in results if r is not None),
+                batch_capable=batch_capable,
+                duplicates=duplicates,
             )
             self._jobs[job_id] = job
-            for chunk in batch_chunks(
-                pending, setups, self.chunk_size, self.workers_hint
-            ):
-                self._queue.append(
-                    Lease(
-                        lease_id=f"L{next(self._ids)}",
-                        job_id=job_id,
-                        indices=tuple(chunk),
-                    )
-                )
+            for group in batch_chunks(pending, setups, None, None):
+                position = len(job.pending_groups)
+                job.pending_groups.append(list(group))
+                for index in group:
+                    job.group_of[index] = position
             if job.remaining == 0:
                 job.done.set()
         return job_id
+
+    def _store_hits(
+        self, fingerprints: Sequence[str]
+    ) -> dict[str, ConfigRunResult]:
+        """Adoptable store results, keyed by fingerprint.
+
+        One ``has_many`` round trip narrows the candidate set when the
+        store supports it (a remote store pays one HTTP call instead of
+        one per configuration); only reported hits are fetched.  A miss
+        on fetch after a hit on ``has_many`` simply stays pending.
+        """
+        if self.store is None or not fingerprints:
+            return {}
+        unique = list(dict.fromkeys(fingerprints))
+        has_many = getattr(self.store, "has_many", None)
+        if callable(has_many):
+            try:
+                present = has_many(RUNS_NAMESPACE, unique)
+                unique = [
+                    fp for fp, hit in zip(unique, present) if hit
+                ]
+            except Exception:
+                pass  # fall back to fetching every fingerprint
+        hits: dict[str, ConfigRunResult] = {}
+        for fingerprint in unique:
+            result = self._store_get(fingerprint)
+            if result is not None:
+                result.cached = True
+                hits[fingerprint] = result
+        return hits
 
     def _store_get(self, fingerprint: str) -> "ConfigRunResult | None":
         if self.store is None:
@@ -243,46 +374,153 @@ class Broker:
 
     # -- the worker surface ------------------------------------------------
 
-    def claim(self, worker: str = "") -> "dict | None":
-        """Claim the next lease; None when the queue is empty.
+    def claim(
+        self,
+        worker: str = "",
+        supports_batch: bool = True,
+        lanes_per_sec: "float | None" = None,
+    ) -> "dict | None":
+        """Claim a lease sized to this worker; None when nothing to do.
 
-        Returns the lease as a wire body: lease/job ids, design indices,
-        configurations, per-configuration fingerprints, and the shared
-        measure task.
+        ``supports_batch`` and ``lanes_per_sec`` are the worker's
+        capability claim; the broker's own per-worker rate estimate
+        (from completed-lease wall clocks) takes precedence over the
+        self-reported rate.  Returns the lease as a wire body: lease/job
+        ids, design indices, configurations, per-configuration
+        fingerprints, and the shared measure task.
         """
         with self._lock:
             self._reap_locked()
-            while self._queue:
-                lease = self._queue.pop(0)
-                job = self._jobs.get(lease.job_id)
-                if job is None or job.done.is_set():
+            state = self._worker_state_locked(
+                worker, supports_batch, lanes_per_sec
+            )
+            for job in self._jobs.values():
+                if job.done.is_set():
                     continue
-                lease.worker = str(worker) or None
-                lease.deadline = time.monotonic() + self.lease_ttl
-                self._active[lease.lease_id] = lease
-                return {
-                    "lease": lease.lease_id,
-                    "job": lease.job_id,
-                    "attempt": lease.attempt,
-                    "indices": list(lease.indices),
-                    "configs": configs_to_wire(
-                        job.configs[i] for i in lease.indices
-                    ),
-                    "fingerprints": [
-                        job.fingerprints[i] for i in lease.indices
-                    ],
-                    "task": job.task_wire,
-                }
+                for group in job.pending_groups:
+                    if not group:
+                        continue
+                    size = self._lease_size_locked(job, state, len(group))
+                    indices = tuple(group[:size])
+                    del group[:size]
+                    return self._grant_locked(job, indices, state)
+            # Nothing pending anywhere: offer the tail of a straggler.
+            split = self._split_straggler_locked(state)
+            if split is not None:
+                return split
         return None
+
+    def _worker_state_locked(
+        self,
+        worker: str,
+        supports_batch: bool,
+        lanes_per_sec: "float | None",
+    ) -> _WorkerState:
+        name = str(worker) or "<anonymous>"
+        state = self._workers.get(name)
+        if state is None:
+            state = self._workers[name] = _WorkerState(name=name)
+        state.supports_batch = bool(supports_batch)
+        if lanes_per_sec is not None and lanes_per_sec > 0:
+            state.reported_rate = float(lanes_per_sec)
+        return state
+
+    def _lease_size_locked(
+        self, job: MeasureJob, state: _WorkerState, available: int
+    ) -> int:
+        """Configurations to cut for this worker from one group pool."""
+        if self.chunk_size is not None:
+            return max(1, min(int(self.chunk_size), available))
+        rate = state.best_rate
+        if rate is not None and rate > 0:
+            size = int(rate * self.target_lease_seconds)
+            return max(1, min(size, available))
+        if job.batch_capable and not state.supports_batch:
+            # A scalar worker on a batch job pays per configuration;
+            # probe with one lane until its rate is known.
+            return 1
+        # No rate yet: split the pool evenly across the expected fleet.
+        return max(1, -(-available // self.workers_hint))
+
+    def _grant_locked(
+        self,
+        job: MeasureJob,
+        indices: tuple[int, ...],
+        state: _WorkerState,
+        splits: int = 0,
+    ) -> dict:
+        now = time.monotonic()
+        lease = Lease(
+            lease_id=f"L{next(self._ids)}",
+            job_id=job.job_id,
+            indices=indices,
+            attempt=max(job.attempts.get(i, 0) for i in indices),
+            worker=state.name,
+            deadline=now + self.lease_ttl,
+            claimed_at=now,
+            splits=splits,
+        )
+        self._active[lease.lease_id] = lease
+        self._log_lease_locked(lease, "active", None)
+        return {
+            "lease": lease.lease_id,
+            "job": lease.job_id,
+            "attempt": lease.attempt,
+            "indices": list(lease.indices),
+            "configs": configs_to_wire(
+                job.configs[i] for i in lease.indices
+            ),
+            "fingerprints": [job.fingerprints[i] for i in lease.indices],
+            "task": job.task_wire,
+        }
+
+    def _split_straggler_locked(self, state: _WorkerState) -> "dict | None":
+        """Cede the tail half of the longest-held splittable lease."""
+        now = time.monotonic()
+        candidate: "Lease | None" = None
+        for lease in self._active.values():
+            if lease.splits >= self.max_splits:
+                continue
+            if lease.claimed_at is None:
+                continue
+            if now - lease.claimed_at <= self.straggler_grace:
+                continue
+            job = self._jobs.get(lease.job_id)
+            if job is None or job.done.is_set():
+                continue
+            if len(lease.live_indices(job.results)) < 2:
+                continue
+            if (
+                candidate is None
+                or lease.claimed_at < candidate.claimed_at
+            ):
+                candidate = lease
+        if candidate is None:
+            return None
+        job = self._jobs[candidate.job_id]
+        live = candidate.live_indices(job.results)
+        keep = (len(live) + 1) // 2
+        ceded = tuple(live[keep:])
+        candidate.ceded.update(ceded)
+        candidate.splits += 1
+        record = self._lease_log.get(candidate.lease_id)
+        if record is not None:
+            record["splits"] = candidate.splits
+        return self._grant_locked(
+            job, ceded, state, splits=candidate.splits
+        )
 
     def complete(self, lease_id: str, results: Sequence[Mapping]) -> None:
         """Accept a worker's results for a lease.
 
         Results are ``{"index": int, "result": <ConfigRunResult dict>}``
         entries.  A completion for a lease that was already reaped (the
-        worker outlived its TTL) is silently dropped — the re-queued
-        lease recomputes the same bit-identical values, so duplicated
+        worker outlived its TTL) is silently dropped — the re-pooled
+        work recomputes the same bit-identical values, so duplicated
         work is the designed cost of crash recovery, never corruption.
+        The same first-writer-wins rule covers straggler splits: ceded
+        indices stay valid on the original lease, and whichever copy
+        reports first fills the slot.
         """
         decoded: list[tuple[int, ConfigRunResult]] = []
         to_publish: list[tuple[str, ConfigRunResult]] = []
@@ -316,16 +554,49 @@ class Broker:
                     job.results[index] = result
                     job.executed += 1
                     to_publish.append((job.fingerprints[index], result))
+                # Broadcast to within-job fingerprint duplicates: same
+                # inputs, same bits, leased once.
+                for twin in job.duplicates.get(index, ()):
+                    if job.results[twin] is None:
+                        job.results[twin] = job.results[index]
+                        job.cached += 1
             if job.remaining == 0 and job.error is None:
                 job.done.set()
+            self._record_completion_locked(lease)
         for fingerprint, result in to_publish:
             self._store_put(fingerprint, result)
 
+    def _record_completion_locked(self, lease: Lease) -> None:
+        elapsed = (
+            time.monotonic() - lease.claimed_at
+            if lease.claimed_at is not None
+            else None
+        )
+        self._log_lease_locked(lease, "completed", elapsed)
+        state = self._workers.get(lease.worker or "")
+        if state is None or elapsed is None:
+            return
+        lanes = len(lease.indices)
+        sample = lanes / max(elapsed, 1e-9)
+        state.rate = (
+            sample
+            if state.rate is None
+            else 0.5 * state.rate + 0.5 * sample
+        )
+        state.leases_completed += 1
+        state.lanes_completed += lanes
+
     def fail(self, lease_id: str, reason: str = "") -> None:
-        """Re-queue a lease a worker reported as failed."""
+        """Re-pool a lease a worker reported as failed."""
         with self._lock:
             lease = self._active.pop(str(lease_id), None)
             if lease is not None:
+                elapsed = (
+                    time.monotonic() - lease.claimed_at
+                    if lease.claimed_at is not None
+                    else None
+                )
+                self._log_lease_locked(lease, "failed", elapsed)
                 self._requeue_locked(lease, reason or "reported failed")
 
     # -- fault handling ----------------------------------------------------
@@ -339,6 +610,13 @@ class Broker:
         ]
         for lease in expired:
             del self._active[lease.lease_id]
+            self._log_lease_locked(
+                lease,
+                "reaped",
+                now - lease.claimed_at
+                if lease.claimed_at is not None
+                else None,
+            )
             self._requeue_locked(
                 lease,
                 f"lease TTL ({self.lease_ttl:g}s) expired — worker "
@@ -346,23 +624,83 @@ class Broker:
             )
 
     def _requeue_locked(self, lease: Lease, reason: str) -> None:
+        """Return a dead lease's unfinished, un-ceded work to its pools."""
         job = self._jobs.get(lease.job_id)
         if job is None or job.done.is_set():
             return
-        lease.attempt += 1
-        lease.worker = None
-        lease.deadline = None
-        if lease.attempt >= self.max_attempts:
-            job.error = LeaseTimeout(
-                lease.lease_id,
-                job_id=job.job_id,
-                attempts=lease.attempt,
-                fingerprints=[job.fingerprints[i] for i in lease.indices],
-                detail=reason,
+        for index in lease.live_indices(job.results):
+            attempts = job.attempts.get(index, 0) + 1
+            job.attempts[index] = attempts
+            if attempts >= self.max_attempts:
+                job.error = LeaseTimeout(
+                    lease.lease_id,
+                    job_id=job.job_id,
+                    attempts=attempts,
+                    fingerprints=[
+                        job.fingerprints[i]
+                        for i in lease.live_indices(job.results)
+                    ],
+                    detail=reason,
+                )
+                job.done.set()
+                return
+            group = job.pending_groups[job.group_of[index]]
+            bisect.insort(group, index)
+
+    # -- telemetry ---------------------------------------------------------
+
+    def _log_lease_locked(
+        self, lease: Lease, status: str, seconds: "float | None"
+    ) -> None:
+        record = self._lease_log.get(lease.lease_id)
+        if record is None:
+            # Field insertion order is the wire order (`repro status`
+            # prints it as-is, so it must be deterministic).
+            record = {
+                "lease": lease.lease_id,
+                "job": lease.job_id,
+                "worker": lease.worker,
+                "configurations": len(lease.indices),
+                "attempt": lease.attempt,
+                "status": status,
+                "seconds": None,
+                "splits": lease.splits,
+            }
+            self._lease_log[lease.lease_id] = record
+            while len(self._lease_log) > _TELEMETRY_LOG_LIMIT:
+                self._lease_log.popitem(last=False)
+        record["status"] = status
+        record["splits"] = lease.splits
+        if seconds is not None:
+            record["seconds"] = round(seconds, 3)
+
+    def telemetry(self) -> dict:
+        """Per-lease timings/attempts and per-worker rate estimates.
+
+        Leases sort by numeric id, workers by name; every record keeps a
+        fixed field order, so rendered output is deterministic.
+        """
+        with self._lock:
+            self._reap_locked()
+            leases = sorted(
+                (dict(record) for record in self._lease_log.values()),
+                key=lambda r: int(str(r["lease"]).lstrip("L") or 0),
             )
-            job.done.set()
-        else:
-            self._queue.append(lease)
+            workers = [
+                {
+                    "worker": state.name,
+                    "supports_batch": state.supports_batch,
+                    "lanes_per_sec": (
+                        round(state.best_rate, 3)
+                        if state.best_rate is not None
+                        else None
+                    ),
+                    "leases_completed": state.leases_completed,
+                    "lanes_completed": state.lanes_completed,
+                }
+                for _, state in sorted(self._workers.items())
+            ]
+            return {"leases": leases, "workers": workers}
 
     # -- the submitter surface ---------------------------------------------
 
@@ -371,9 +709,10 @@ class Broker:
     ) -> tuple[Measurements, dict[ConfigKey, ProfileResult]]:
         """Block until *job_id* finishes; return its merged measurements.
 
-        Raises the job's :class:`~repro.errors.LeaseTimeout` if a lease
-        exhausted its attempts, and :class:`~repro.errors.ServiceError`
-        on an unknown job or a wait timeout.
+        Raises the job's :class:`~repro.errors.LeaseTimeout` if a
+        configuration exhausted its attempts, and
+        :class:`~repro.errors.ServiceError` on an unknown job or a wait
+        timeout.
         """
         with self._lock:
             job = self._jobs.get(job_id)
@@ -403,10 +742,16 @@ class Broker:
             return RunStats(executed=job.executed, cached=job.cached)
 
     def queue_depth(self) -> int:
-        """Unclaimed leases (after reaping expired ones)."""
+        """Pending (unleased) configurations, after reaping expired
+        leases — the fleet's backlog in units of work, not leases
+        (leases are now cut per claim)."""
         with self._lock:
             self._reap_locked()
-            return len(self._queue)
+            return sum(
+                job.pending
+                for job in self._jobs.values()
+                if not job.done.is_set()
+            )
 
 
 @dataclass

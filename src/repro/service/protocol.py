@@ -344,3 +344,33 @@ def configs_from_wire(payload) -> list[dict[str, float]]:
         {str(name): float(value) for name, value in entries}
         for entries in payload
     ]
+
+
+def capability_to_wire(
+    worker: str,
+    supports_batch: bool = True,
+    lanes_per_sec: "float | None" = None,
+) -> dict:
+    """Encode a worker's claim envelope: identity plus capability.
+
+    Additive to protocol v1 — brokers that predate capability claims
+    simply ignore the extra keys, and :func:`capability_from_wire`
+    defaults them for old workers, so mixed fleets interoperate.
+    """
+    return {
+        "worker": str(worker),
+        "supports_batch": bool(supports_batch),
+        "lanes_per_sec": (
+            float(lanes_per_sec) if lanes_per_sec is not None else None
+        ),
+    }
+
+
+def capability_from_wire(body: Mapping) -> "tuple[str, bool, float | None]":
+    """Inverse of :func:`capability_to_wire`; missing keys get defaults."""
+    rate = body.get("lanes_per_sec")
+    return (
+        str(body.get("worker", "")),
+        bool(body.get("supports_batch", True)),
+        float(rate) if rate is not None else None,
+    )

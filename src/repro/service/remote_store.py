@@ -80,6 +80,10 @@ class LocalStore:
     def has(self, namespace: str, key: str) -> bool:
         return self._path(namespace, key).exists()
 
+    def has_many(self, namespace: str, keys) -> list[bool]:
+        """Presence of each key, one answer per key, order preserved."""
+        return [self.has(namespace, key) for key in keys]
+
     def get(self, namespace: str, key: str) -> object | None:
         """The stored payload, or None on a miss or a corrupt entry."""
         path = self._path(namespace, key)
@@ -222,6 +226,33 @@ class RemoteStore:
         status, _ = http_json("HEAD", url, timeout=self.timeout)
         return status == 200
 
+    def has_many(self, namespace: str, keys) -> list[bool]:
+        """Presence of each key in **one** round trip (vs one HEAD each).
+
+        This is the store-side twin of lane dedup: a broker (or runner)
+        checking hundreds of fingerprints before a submission pays one
+        request, not hundreds.
+        """
+        keys = [_check_name("key", key) for key in keys]
+        if not keys:
+            return []
+        url = (
+            f"{self.base_url}/api/v1/store/"
+            f"{_check_name('namespace', namespace)}/has-many"
+        )
+        status, body = http_json(
+            "POST",
+            url,
+            envelope("store.has_many", {"keys": keys}),
+            timeout=self.timeout,
+        )
+        raise_for_error(status, body, url)
+        entry = open_envelope(body, "store.presence")
+        present = entry.get("present") if isinstance(entry, Mapping) else None
+        if not isinstance(present, list) or len(present) != len(keys):
+            raise ServiceError(f"malformed store presence reply from {url}")
+        return [bool(flag) for flag in present]
+
     def get(self, namespace: str, key: str) -> object | None:
         url = self._url(namespace, key)
         status, body = http_json("GET", url, timeout=self.timeout)
@@ -307,6 +338,10 @@ class RemoteRunCache:
 
     def __contains__(self, fingerprint: str) -> bool:
         return self.store.has(RUNS_NAMESPACE, fingerprint)
+
+    def has_many(self, fingerprints) -> list[bool]:
+        """Batched presence check (one round trip on remote stores)."""
+        return self.store.has_many(RUNS_NAMESPACE, list(fingerprints))
 
     def get(self, fingerprint: str) -> ConfigRunResult | None:
         payload = self.store.get(RUNS_NAMESPACE, fingerprint)

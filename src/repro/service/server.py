@@ -17,8 +17,10 @@ GET       /api/v1/campaigns/<id>/artifact/<stage> -> campaign.artifact
 POST      /api/v1/leases/claim                   lease.claim -> lease.grant
 POST      /api/v1/leases/<id>/complete           lease.complete -> lease.ack
 POST      /api/v1/leases/<id>/fail               lease.fail -> lease.ack
+GET       /api/v1/telemetry                      -> telemetry
 GET/HEAD  /api/v1/store/<ns>/<key>               -> store.entry / 404
 PUT       /api/v1/store/<ns>/<key>               store.put -> store.ack
+POST      /api/v1/store/<ns>/has-many            store.has_many -> store.presence
 ========  =====================================  =======================
 
 Submitted campaigns run every stage *on the server* except measure,
@@ -41,7 +43,7 @@ from typing import Mapping
 from ..core.stages import STAGES, Campaign
 from ..errors import ReproError, ServiceError
 from .broker import Broker, BrokerScheduler
-from .protocol import envelope, open_envelope
+from .protocol import capability_from_wire, envelope, open_envelope
 from .remote_store import (
     STAGE_NAMESPACE,
     LocalStore,
@@ -98,13 +100,18 @@ class CampaignService:
         max_attempts: int = 3,
         chunk_size: "int | None" = None,
         measure_timeout: "float | None" = None,
+        target_lease_seconds: "float | None" = None,
     ) -> None:
         self.store = LocalStore(store_root)
+        broker_kwargs = {}
+        if target_lease_seconds is not None:
+            broker_kwargs["target_lease_seconds"] = target_lease_seconds
         self.broker = Broker(
             store=self.store,
             lease_ttl=lease_ttl,
             max_attempts=max_attempts,
             chunk_size=chunk_size,
+            **broker_kwargs,
         )
         self.measure_timeout = measure_timeout
         self._lock = threading.Lock()
@@ -302,6 +309,11 @@ class _Handler(BaseHTTPRequestHandler):
         rest = parts[2:]
         if rest == ["health"]:
             self._send(200, envelope("health", self.service.health()))
+        elif rest == ["telemetry"]:
+            self._send(
+                200,
+                envelope("telemetry", self.service.broker.telemetry()),
+            )
         elif len(rest) == 2 and rest[0] == "campaigns":
             self._send(
                 200,
@@ -335,10 +347,14 @@ class _Handler(BaseHTTPRequestHandler):
             )
         elif rest == ["leases", "claim"]:
             body = open_envelope(self._body(), "lease.claim")
-            worker = ""
-            if isinstance(body, Mapping):
-                worker = str(body.get("worker") or "")
-            lease = self.service.broker.claim(worker)
+            worker, supports_batch, lanes_per_sec = capability_from_wire(
+                body if isinstance(body, Mapping) else {}
+            )
+            lease = self.service.broker.claim(
+                worker,
+                supports_batch=supports_batch,
+                lanes_per_sec=lanes_per_sec,
+            )
             self._send(200, envelope("lease.grant", {"lease": lease}))
         elif rest is not None and len(rest) == 3 and rest[0] == "leases":
             lease_id, action = rest[1], rest[2]
@@ -362,6 +378,24 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(200, envelope("lease.ack", {"lease": lease_id}))
             else:
                 self._send(404, envelope("error", {"error": "unknown path"}))
+        elif (
+            rest is not None
+            and len(rest) == 3
+            and rest[0] == "store"
+            and rest[2] == "has-many"
+        ):
+            body = open_envelope(self._body(), "store.has_many")
+            keys = body.get("keys") if isinstance(body, Mapping) else None
+            if not isinstance(keys, list):
+                raise ServiceError(
+                    "store.has_many body must carry a 'keys' list"
+                )
+            present = self.service.store.has_many(
+                rest[1], [str(key) for key in keys]
+            )
+            self._send(
+                200, envelope("store.presence", {"present": present})
+            )
         else:
             self._send(404, envelope("error", {"error": "unknown path"}))
 
@@ -388,6 +422,7 @@ def serve(
     max_attempts: int = 3,
     chunk_size: "int | None" = None,
     verbose: bool = False,
+    target_lease_seconds: "float | None" = None,
 ) -> ThreadingHTTPServer:
     """Build a ready-to-run campaign server (call ``serve_forever()``).
 
@@ -400,6 +435,7 @@ def serve(
         lease_ttl=lease_ttl,
         max_attempts=max_attempts,
         chunk_size=chunk_size,
+        target_lease_seconds=target_lease_seconds,
     )
     httpd = ThreadingHTTPServer((host, port), _Handler)
     httpd.daemon_threads = True
@@ -437,6 +473,10 @@ class ServiceClient:
 
     def health(self) -> dict:
         return self._call("GET", "/api/v1/health", reply="health")
+
+    def telemetry(self) -> dict:
+        """Per-lease timing and per-worker rate estimates from the broker."""
+        return self._call("GET", "/api/v1/telemetry", reply="telemetry")
 
     def submit(self, spec: Mapping) -> str:
         body = self._call(

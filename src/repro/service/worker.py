@@ -16,6 +16,14 @@ configuration by configuration via
 results are bit-identical, because noise streams depend only on
 ``(seed, function, configuration key, repetition)``.
 
+Capability claims: every claim advertises whether this worker executes
+leases as tensor batches (``supports_batch``) and its self-measured
+lanes/sec rate, so the broker can size each lease to the worker that is
+asking (see :class:`~repro.service.broker.Broker`).  ``batch=False``
+forces the per-configuration scalar path even for batch-capable engines
+— the deliberate "slow fallback worker" of a heterogeneous fleet, still
+bit-identical.
+
 Fault injection (tests and CI chaos): the ``REPRO_SERVICE_FAULT``
 environment variable (or the ``fault=`` argument) makes a worker
 misbehave deterministically —
@@ -23,7 +31,11 @@ misbehave deterministically —
 * ``crash:<n>`` — die silently while holding the *n*-th claimed lease
   (never reported; the broker's TTL reaper must recover it);
 * ``fail:<n>`` — report the *n*-th claimed lease as failed, then keep
-  working (exercises the immediate re-queue path).
+  working (exercises the immediate re-queue path);
+* ``slow:<n>`` — from the *n*-th claimed lease onward, stall for
+  ``REPRO_SERVICE_SLOW_SECONDS`` (default 1.0) before executing each
+  lease (exercises straggler re-leasing; results stay correct, only
+  late).
 """
 
 from __future__ import annotations
@@ -40,24 +52,33 @@ from ..measure.io import config_run_result_to_dict
 from ..measure.parallel import WorkloadSpec
 from ..registry import ENGINE_REGISTRY, load_builtin_components
 from .protocol import (
+    capability_to_wire,
     configs_from_wire,
     envelope,
     measure_task_from_wire,
     open_envelope,
 )
 
-#: Environment variable carrying a fault spec (``crash:<n>``/``fail:<n>``).
+#: Environment variable carrying a fault spec
+#: (``crash:<n>``/``fail:<n>``/``slow:<n>``).
 FAULT_ENV = "REPRO_SERVICE_FAULT"
+#: Seconds a ``slow:<n>`` worker stalls before executing each lease.
+SLOW_ENV = "REPRO_SERVICE_SLOW_SECONDS"
+DEFAULT_SLOW_SECONDS = 1.0
 
 
 def _parse_fault(spec: "str | None") -> "tuple[str, int] | None":
     if not spec:
         return None
     kind, _, count = str(spec).partition(":")
-    if kind not in ("crash", "fail") or not count.isdigit() or int(count) < 1:
+    if (
+        kind not in ("crash", "fail", "slow")
+        or not count.isdigit()
+        or int(count) < 1
+    ):
         raise ServiceError(
-            f"invalid {FAULT_ENV} spec {spec!r}: expected 'crash:<n>' or "
-            "'fail:<n>' with n >= 1"
+            f"invalid {FAULT_ENV} spec {spec!r}: expected 'crash:<n>', "
+            "'fail:<n>', or 'slow:<n>' with n >= 1"
         )
     return kind, int(count)
 
@@ -68,8 +89,15 @@ class LocalBrokerTransport:
     def __init__(self, broker) -> None:
         self.broker = broker
 
-    def claim(self, worker: str) -> "Mapping | None":
-        return self.broker.claim(worker)
+    def claim(
+        self, worker: str, capability: "Mapping | None" = None
+    ) -> "Mapping | None":
+        capability = dict(capability or {})
+        return self.broker.claim(
+            worker,
+            supports_batch=bool(capability.get("supports_batch", True)),
+            lanes_per_sec=capability.get("lanes_per_sec"),
+        )
 
     def complete(self, lease_id: str, results: list) -> None:
         self.broker.complete(lease_id, results)
@@ -95,11 +123,13 @@ class HttpBrokerTransport:
         raise_for_error(status, payload, url)
         return open_envelope(payload, reply)
 
-    def claim(self, worker: str) -> "Mapping | None":
+    def claim(
+        self, worker: str, capability: "Mapping | None" = None
+    ) -> "Mapping | None":
         body = self._post(
             "/api/v1/leases/claim",
             "lease.claim",
-            {"worker": worker},
+            capability_to_wire(worker, **dict(capability or {})),
             "lease.grant",
         )
         lease = body.get("lease") if isinstance(body, Mapping) else None
@@ -139,7 +169,11 @@ class Worker:
     ``max_leases`` bounds the number of *completed* leases (useful in
     tests); ``stop_when_idle`` exits once the queue drains instead of
     polling forever; ``idle_timeout`` bounds how long an idle worker
-    polls before giving up.
+    polls before giving up.  ``batch=False`` opts out of tensor-batch
+    execution: leases run configuration by configuration even on
+    batch-capable engines (bit-identical, scalar speed), and the claim
+    envelope advertises the reduced capability so the broker sizes
+    leases accordingly.
     """
 
     def __init__(
@@ -151,6 +185,7 @@ class Worker:
         stop_when_idle: bool = False,
         idle_timeout: "float | None" = None,
         fault: "str | None" = None,
+        batch: bool = True,
     ) -> None:
         self.transport = transport
         self.worker_id = str(worker_id)
@@ -158,12 +193,26 @@ class Worker:
         self.max_leases = max_leases
         self.stop_when_idle = stop_when_idle
         self.idle_timeout = idle_timeout
+        self.batch = bool(batch)
         if fault is None:
             fault = os.environ.get(FAULT_ENV)
         self.fault = _parse_fault(fault)
+        self.slow_seconds = float(
+            os.environ.get(SLOW_ENV, DEFAULT_SLOW_SECONDS)
+        )
+        #: Self-measured lanes/sec (EWMA over executed leases), sent
+        #: with every claim so a fresh broker can size the first lease.
+        self.lanes_per_sec: "float | None" = None
         #: Per-job workload memo: rebuild once, reuse for every lease.
         self._workloads: dict[str, object] = {}
         load_builtin_components()
+
+    def capability(self) -> dict:
+        """The capability claim sent with every lease claim."""
+        return {
+            "supports_batch": self.batch,
+            "lanes_per_sec": self.lanes_per_sec,
+        }
 
     # -- the loop ----------------------------------------------------------
 
@@ -177,7 +226,7 @@ class Worker:
                 and stats.completed >= self.max_leases
             ):
                 break
-            lease = self.transport.claim(self.worker_id)
+            lease = self.transport.claim(self.worker_id, self.capability())
             if lease is None:
                 if self.stop_when_idle:
                     break
@@ -197,13 +246,22 @@ class Worker:
                 # reaper is the only way this work comes back.
                 stats.crashed = True
                 break
+            if (
+                self.fault is not None
+                and self.fault[0] == "slow"
+                and stats.claimed >= self.fault[1]
+            ):
+                # Straggle: stall before executing, results stay correct.
+                time.sleep(self.slow_seconds)
             lease_id = str(lease["lease"])
+            started = time.monotonic()
             try:
                 results = self.execute(lease)
             except Exception as exc:  # noqa: BLE001 — report, keep serving
                 stats.failed += 1
                 self.transport.fail(lease_id, repr(exc))
                 continue
+            self._observe_rate(len(results), time.monotonic() - started)
             if self.fault == ("fail", stats.claimed):
                 stats.failed += 1
                 self.transport.fail(
@@ -214,6 +272,16 @@ class Worker:
             stats.completed += 1
             stats.configurations += len(results)
         return stats
+
+    def _observe_rate(self, lanes: int, elapsed: float) -> None:
+        if lanes <= 0 or elapsed <= 0:
+            return
+        sample = lanes / elapsed
+        self.lanes_per_sec = (
+            sample
+            if self.lanes_per_sec is None
+            else 0.5 * self.lanes_per_sec + 0.5 * sample
+        )
 
     # -- lease execution ---------------------------------------------------
 
@@ -240,7 +308,7 @@ class Worker:
         setups = [workload.setup(c) for c in configs]
         keys = [config_key(parameters, c) for c in configs]
         entry = ENGINE_REGISTRY.entry(task.engine)
-        if entry.metadata.get("supports_batch"):
+        if entry.metadata.get("supports_batch") and self.batch:
             results = run_batch_configurations(
                 program,
                 setups,

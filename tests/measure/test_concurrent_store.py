@@ -144,6 +144,18 @@ class TestConcurrentWriters:
         race(hammer_local_store, root, reader)
         assert store.get("runs", "racefp") == expected
 
+    def test_local_store_has_many_preserves_order(self, tmp_path):
+        store = LocalStore(tmp_path / "store")
+        store.put("runs", "fp1", {"v": 1})
+        store.put("runs", "fp3", {"v": 3})
+        assert store.has_many("runs", ["fp1", "fp2", "fp3", "fp1"]) == [
+            True,
+            False,
+            True,
+            True,
+        ]
+        assert store.has_many("runs", []) == []
+
 
 def run_sweep(root: str) -> tuple[int, str]:
     """One full cached sweep; returns (executed count, canonical result)."""

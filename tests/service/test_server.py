@@ -230,3 +230,78 @@ class TestRemoteStore:
         assert loaded.cached is True
         assert loaded.key == result.key
         assert loaded.samples == result.samples
+
+    def test_has_many_is_one_round_trip(self, server):
+        url, _httpd = server
+        store = RemoteStore(url)
+        store.put("runs", "fp-a", {"x": 1})
+        store.put("runs", "fp-c", {"x": 3})
+        assert store.has_many("runs", ["fp-a", "fp-b", "fp-c"]) == [
+            True,
+            False,
+            True,
+        ]
+        assert store.has_many("runs", []) == []
+        # Same order-preserving answers through the RunCache adapter.
+        assert RemoteRunCache(store).has_many(["fp-b", "fp-a"]) == [
+            False,
+            True,
+        ]
+
+    def test_has_many_rejects_malformed_body(self, server):
+        url, _httpd = server
+        status, body = http_json(
+            "POST",
+            f"{url}/api/v1/store/runs/has-many",
+            envelope("store.has_many", {"keys": "not-a-list"}),
+        )
+        assert status == 400
+        assert "keys" in body["body"]["error"]
+
+
+class TestTelemetryEndpoint:
+    def test_telemetry_over_http(self, server):
+        url, _httpd = server
+        client = ServiceClient(url)
+        stop = threading.Event()
+        attach_workers(url, 2, stop)
+        try:
+            status = client.wait(client.submit(SPEC), timeout=180)
+            assert status["state"] == "done"
+        finally:
+            stop.set()
+        telemetry = client.telemetry()
+        assert set(telemetry) == {"leases", "workers"}
+        assert telemetry["leases"], "completed leases must be logged"
+        assert all(
+            r["status"] in ("completed", "failed", "reaped")
+            for r in telemetry["leases"]
+        )
+        names = [w["worker"] for w in telemetry["workers"]]
+        assert names == sorted(names)
+        assert set(names) <= {"hw0", "hw1"}
+        for w in telemetry["workers"]:
+            assert w["supports_batch"] is True
+
+    def test_status_cli_prints_telemetry(self, server, capsys):
+        from repro.cli import main
+
+        url, _httpd = server
+        client = ServiceClient(url)
+        stop = threading.Event()
+        attach_workers(url, 1, stop)
+        try:
+            campaign_id = client.submit(SPEC)
+            client.wait(campaign_id, timeout=180)
+        finally:
+            stop.set()
+        assert (
+            main(
+                ["status", campaign_id, "--server", url, "--telemetry"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "workers (" in out
+        assert "leases (" in out
+        assert "completed" in out
