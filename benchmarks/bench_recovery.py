@@ -1,0 +1,246 @@
+"""Crash recovery: kill -9 the campaign server mid-measure, restart, finish.
+
+The crash-safety contract of the campaign service is exactly-once
+execution across server incarnations: every completed lane lands in the
+content-addressed run store and the broker's journal checkpoint before
+the lease is acknowledged, so a server that dies without warning loses
+*intent* (re-read from the journal) but never *results*.  This benchmark
+exercises the whole contract over real processes and real sockets:
+
+1. start ``repro serve --state-dir`` as a subprocess plus two
+   ``repro worker`` subprocesses;
+2. submit a nine-configuration LULESH sweep over HTTP;
+3. ``SIGKILL`` the server the moment at least two lanes are durable in
+   the on-disk run store (no drain, no atexit — the hard crash);
+4. restart the server on the same state directory and wait for the
+   campaign to finish, the *same* worker processes reconnecting through
+   their retry/backoff policy.
+
+Assertions (always enforced, not just reported):
+
+* the restarted server recovers the campaign (``recovered: true``,
+  exactly one restart) and re-drives it to ``done``;
+* every stage computed before the crash is ``resumed``, never re-run;
+* exactly-once measurement: lanes executed after the restart equal the
+  design size minus the lanes already durable at kill time — nothing is
+  profiled twice and nothing is lost;
+* the run store holds exactly one record per configuration at the end.
+
+Reported metrics: lanes durable at the kill, lanes re-executed after
+restart, and the recovery wall-clock (restart exec to campaign done).
+
+Run with ``pytest benchmarks/bench_recovery.py -s``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+from repro.errors import ServiceError
+from repro.service import ServiceClient
+
+from conftest import report
+
+WORKERS = 2
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SPEC = {
+    "app": "lulesh",
+    "mode": "taint",
+    "repetitions": 2,
+    "seed": 0,
+    "parameters": {"p": [8.0, 27.0, 64.0], "size": [4.0, 6.0, 8.0]},
+}
+N_CONFIGS = 9
+
+#: Durable lanes required in the run store before the SIGKILL lands —
+#: low enough that seven lanes remain to recover, high enough to prove
+#: pre-crash progress survives.
+KILL_AFTER_LANES = 2
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return env
+
+
+def _spawn_server(state_dir, port: int) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--state-dir",
+            str(state_dir),
+            "--port",
+            str(port),
+            "--lease-ttl",
+            "30",
+            "--chunk-size",
+            "1",
+        ],
+        env=_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _spawn_workers(url: str, n: int) -> list:
+    return [
+        subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "worker",
+                "--server",
+                url,
+                "--id",
+                f"chaos{i}",
+                "--poll-interval",
+                "0.02",
+            ],
+            env=_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        for i in range(n)
+    ]
+
+
+def _wait_healthy(client: ServiceClient, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            if client.health()["status"] == "ok":
+                return
+        except ServiceError:
+            pass
+        if time.monotonic() > deadline:
+            raise AssertionError("server did not come up in time")
+        time.sleep(0.05)
+
+
+def _durable_lanes(state_dir) -> int:
+    """Measured lanes already fsynced into the on-disk run store."""
+    runs = state_dir / "runs"
+    if not runs.is_dir():
+        return 0
+    return sum(1 for p in runs.iterdir() if p.suffix == ".json")
+
+
+def test_crash_recovery(tmp_path):
+    state_dir = tmp_path / "state"
+    port = _free_port()
+    url = f"http://127.0.0.1:{port}"
+    client = ServiceClient(url)
+
+    server = _spawn_server(state_dir, port)
+    workers = []
+    second = None
+    try:
+        _wait_healthy(client)
+        workers = _spawn_workers(url, WORKERS)
+
+        campaign_id = client.submit(SPEC)
+
+        # Wait until enough lanes are durable on disk, then deliver the
+        # crash.  Reading the store directly (not the HTTP telemetry)
+        # makes the pre-crash count exact: whatever lands between the
+        # check and the SIGKILL is still on disk and still counted.
+        deadline = time.monotonic() + 300
+        while _durable_lanes(state_dir) < KILL_AFTER_LANES:
+            assert time.monotonic() < deadline, "no mid-measure progress"
+            assert server.poll() is None, "server died on its own"
+            time.sleep(0.005)
+        server.send_signal(signal.SIGKILL)
+        server.wait(timeout=10)
+        lanes_before = _durable_lanes(state_dir)
+        assert KILL_AFTER_LANES <= lanes_before < N_CONFIGS
+
+        # Restart on the same state directory.  The same two worker
+        # processes are still running; their transports must ride out
+        # the dead-server window on retry/backoff and reconnect.
+        restarted = time.perf_counter()
+        second = _spawn_server(state_dir, port)
+        _wait_healthy(client)
+        status = client.wait(campaign_id, timeout=300)
+        recovery_seconds = time.perf_counter() - restarted
+
+        assert status["state"] == "done"
+        assert status["recovered"] is True
+        assert status["restarts"] == 1
+
+        # Stages finished before the crash resume from the store.  The
+        # status dict lists stages in DAG order: everything ahead of the
+        # interrupted measure stage was durable and must be "resumed";
+        # measure and its downstream stages compute for the first time.
+        stages = status["stages"]
+        assert stages["measure"] == "computed"
+        names = list(stages)
+        pre_crash = names[: names.index("measure")]
+        assert pre_crash, "campaign must have pre-measure stages"
+        assert {stages[name] for name in pre_crash} == {"resumed"}
+
+        lanes_after = status["profile_executions"]
+        assert lanes_after == N_CONFIGS - lanes_before, (
+            f"exactly-once violated: {lanes_before} lanes were durable "
+            f"at the kill but the restarted server executed {lanes_after} "
+            f"of {N_CONFIGS}"
+        )
+        assert _durable_lanes(state_dir) == N_CONFIGS
+
+        telemetry = client.telemetry()
+        assert telemetry["service"]["restarts"] == 1
+        assert campaign_id in telemetry["service"]["recovered_campaigns"]
+        assert telemetry["store"]["corrupt_entries"] == 0
+    finally:
+        for proc in workers:
+            proc.terminate()
+        for proc in workers:
+            proc.wait(timeout=10)
+        for proc in (server, second):
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+    lines = [
+        f"LULESH sweep: {N_CONFIGS} configurations x "
+        f"{SPEC['repetitions']} repetitions, {WORKERS} worker processes",
+        f"SIGKILL delivered with {lanes_before}/{N_CONFIGS} lanes durable",
+        "",
+        f"lanes recovered from store: {lanes_before}",
+        f"lanes re-executed after restart: {lanes_after}",
+        f"recovery wall-clock: {recovery_seconds:.3f} s "
+        "(restart exec to campaign done)",
+        "",
+        "pre-crash stages resumed, exactly-once execution held",
+    ]
+    report(
+        "recovery",
+        "\n".join(lines),
+        data={
+            "configurations": N_CONFIGS,
+            "repetitions": SPEC["repetitions"],
+            "workers": WORKERS,
+            "lanes_durable_at_kill": lanes_before,
+            "lanes_reexecuted": lanes_after,
+            "lanes_lost": N_CONFIGS - lanes_before - lanes_after,
+            "recovery_seconds": recovery_seconds,
+            "restarts": 1,
+            "exactly_once": True,
+        },
+    )

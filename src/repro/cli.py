@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
 import time
 from typing import Sequence
 
@@ -439,6 +440,14 @@ def _load_spec_file(path: str) -> dict:
 
 def _print_campaign_status(status: dict) -> None:
     print(f"campaign {status.get('id')}: {status.get('state')}")
+    if status.get("recovered"):
+        restarts = status.get("restarts", 0)
+        detail = (
+            f"re-driven across {restarts} server restart(s)"
+            if restarts
+            else "restored from the journal after a server restart"
+        )
+        print(f"recovered: true ({detail})")
     for stage_name, how in status.get("stages", {}).items():
         print(f"  {stage_name:<9} {how}")
     if status.get("profile_executions") is not None:
@@ -450,10 +459,19 @@ def _print_campaign_status(status: dict) -> None:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from .service import serve
 
+    store = args.state_dir if args.state_dir is not None else args.store
+    if store is None:
+        raise SystemExit(
+            "error: repro serve needs --state-dir DIR (or the legacy "
+            "--store DIR) — the directory holding the shared store and "
+            "crash-recovery journal"
+        )
     httpd = serve(
-        args.store,
+        store,
         host=args.host,
         port=args.port,
         lease_ttl=args.lease_ttl,
@@ -461,13 +479,39 @@ def cmd_serve(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
         verbose=args.verbose,
         target_lease_seconds=args.target_lease_seconds,
+        journal=not args.no_journal,
     )
     host, port = httpd.server_address[:2]
-    print(f"campaign server on http://{host}:{port} (store: {args.store})")
+    restarts = getattr(httpd.service, "restarts", 0)
+    print(f"campaign server on http://{host}:{port} (state: {store})")
+    if restarts:
+        print(
+            f"recovered state from {store} "
+            f"(restart #{restarts} on this state directory)"
+        )
     print("submit campaigns with: repro submit <spec> --server "
           f"http://{host}:{port}")
     print("attach workers with:   repro worker --server "
           f"http://{host}:{port}")
+
+    def _drain_and_stop(signum, frame):  # pragma: no cover - signal path
+        # Drain on a helper thread: httpd.shutdown() deadlocks when
+        # called from the serve_forever thread a signal interrupted.
+        def drain():
+            clean = httpd.service.drain(timeout=args.drain_timeout)
+            print(
+                "drained clean, shutting down"
+                if clean
+                else "drain timed out with leases in flight, shutting down"
+            )
+            httpd.shutdown()
+
+        threading.Thread(target=drain, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _drain_and_stop)
+    except ValueError:  # pragma: no cover - non-main thread (tests)
+        pass
     try:
         httpd.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive only
@@ -488,15 +532,23 @@ def cmd_worker(args: argparse.Namespace) -> int:
         stop_when_idle=args.stop_when_idle,
         idle_timeout=args.idle_timeout,
         batch=not args.no_batch,
+        reconnect_timeout=args.reconnect_timeout,
     )
     print(f"worker '{args.id}' pulling leases from {args.server}")
     try:
         stats = worker.run()
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         return 0
+    if stats.fatal_error is not None:
+        print(f"worker '{args.id}' fatal: {stats.fatal_error}")
+        return 1
+    reconnect_text = (
+        f", {stats.reconnects} reconnect(s)" if stats.reconnects else ""
+    )
     print(
         f"worker '{args.id}' done: {stats.completed} lease(s) completed "
-        f"({stats.configurations} configuration(s)), {stats.failed} failed"
+        f"({stats.configurations} configuration(s)), "
+        f"{stats.failed} failed{reconnect_text}"
     )
     return 0
 
@@ -524,10 +576,12 @@ def _print_telemetry(telemetry: dict) -> None:
         rate = w.get("lanes_per_sec")
         rate_text = f"{rate:g} lanes/s" if rate is not None else "rate unknown"
         mode = "batch" if w.get("supports_batch") else "scalar"
+        quarantine_text = " [QUARANTINED]" if w.get("quarantined") else ""
         print(
             f"  {w.get('worker'):<12} {mode:<6} {rate_text:<16} "
             f"{w.get('leases_completed')} lease(s), "
             f"{w.get('lanes_completed')} lane(s)"
+            f"{quarantine_text}"
         )
     print(f"leases ({len(leases)}):")
     for r in leases:
@@ -540,6 +594,25 @@ def _print_telemetry(telemetry: dict) -> None:
             f"{str(r.get('worker')):<12} {r.get('status'):<9} "
             f"{r.get('configurations')} cfg(s), "
             f"attempt {r.get('attempt')}, {timing}{split_text}"
+        )
+    store = telemetry.get("store")
+    if store is not None:
+        print(
+            f"store: {store.get('corrupt_entries', 0)} corrupt "
+            "entr(y/ies) quarantined"
+        )
+    service = telemetry.get("service")
+    if service is not None:
+        recovered = service.get("recovered_campaigns") or []
+        recovered_text = (
+            f", recovered campaigns: {', '.join(recovered)}"
+            if recovered
+            else ""
+        )
+        print(
+            f"service: {service.get('restarts', 0)} restart(s), "
+            f"{service.get('journal_corrupt_entries', 0)} corrupt "
+            f"journal entr(y/ies){recovered_text}"
         )
 
 
@@ -750,13 +823,34 @@ def build_parser() -> argparse.ArgumentParser:
         "measure-stage broker over HTTP)",
     )
     p.add_argument(
+        "--state-dir",
+        type=_cache_dir,
+        default=None,
+        help="server state directory: shared store (stage artifacts + "
+        "run results) plus the crash-recovery journal — restarting "
+        "with the same directory recovers in-flight campaigns",
+    )
+    p.add_argument(
         "--store",
         type=_cache_dir,
-        required=True,
-        help="shared store directory (stage artifacts + run results)",
+        default=None,
+        help="legacy alias for --state-dir",
     )
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8642)
+    p.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="disable the durable campaign journal (and with it "
+        "restart recovery)",
+    )
+    p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="on SIGTERM, wait up to this many seconds for in-flight "
+        "leases to land before shutting down",
+    )
     p.add_argument(
         "--lease-ttl",
         type=float,
@@ -818,6 +912,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute leases configuration by configuration even on "
         "batch-capable engines (bit-identical; advertises the reduced "
         "capability so the broker sizes leases accordingly)",
+    )
+    p.add_argument(
+        "--reconnect-timeout",
+        type=float,
+        default=None,
+        help="give up after the broker has been unreachable this many "
+        "seconds (default: reconnect forever, riding out server "
+        "restarts)",
     )
     p.set_defaults(func=cmd_worker)
 

@@ -138,6 +138,54 @@ class ServiceError(ReproError):
     """
 
 
+class TransientServiceError(ServiceError):
+    """A service failure that is expected to heal on retry.
+
+    Connection refusals/resets, dropped or garbled responses, timeouts,
+    and HTTP 5xx replies all land here: the request may simply be
+    repeated (every service write is idempotent under its campaign or
+    lease fingerprint).  The shared backoff policy in
+    :mod:`repro.service.retry` retries exactly this class; everything
+    else — version skew, malformed specs, unknown campaigns — is
+    permanent and surfaces immediately.
+    """
+
+
+class RetryExhausted(ServiceError):
+    """A retried call failed through its whole backoff budget.
+
+    Carries the idempotency *key* that named the operation and the full
+    per-attempt trace (error text and the backoff slept before the next
+    try), so a flaky deployment is diagnosable from the exception alone.
+    The last underlying error is chained as ``__cause__``.
+    """
+
+    def __init__(
+        self,
+        key: str,
+        attempts: "list[dict] | None" = None,
+        detail: str | None = None,
+    ) -> None:
+        self.key = key
+        self.attempts = list(attempts or [])
+        lines = [
+            f"retry budget exhausted after {len(self.attempts)} attempt(s) "
+            f"for '{key}'"
+        ]
+        if detail:
+            lines[0] += f": {detail}"
+        for entry in self.attempts:
+            lines.append(
+                f"  attempt {entry.get('attempt')}: {entry.get('error')}"
+                + (
+                    f" (backed off {entry.get('backoff'):g}s)"
+                    if entry.get("backoff") is not None
+                    else ""
+                )
+            )
+        super().__init__("\n".join(lines))
+
+
 class LeaseTimeout(ServiceError):
     """A measure-stage lease exhausted its retry budget.
 

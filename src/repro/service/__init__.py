@@ -19,14 +19,22 @@ This package promotes those two facts into a service:
   concurrent campaigns from many clients dedupe work fleet-wide;
 * :mod:`~repro.service.server` — the long-lived campaign server
   (stdlib ``http.server`` + threads): submit a spec, poll per-stage
-  status and provenance, fetch artifacts.
+  status and provenance, fetch artifacts;
+* :mod:`~repro.service.journal` — the durable, hash-chained journal of
+  campaign transitions and broker checkpoints that makes a server
+  restart a **replay** (store resume re-executes nothing that
+  finished);
+* :mod:`~repro.service.retry` — the one shared retry/backoff policy
+  (bounded exponential, deterministic keyed jitter) every client path
+  funnels through.
 
 Everything is stdlib-only (sockets, ``http.server``, threads); the CLI
 front doors are ``repro serve``, ``repro worker``, ``repro submit``, and
 ``repro status``.
 """
 
-from .broker import Broker, BrokerScheduler, Lease, MeasureJob
+from .broker import Broker, BrokerScheduler, Lease, MeasureJob, measure_job_key
+from .journal import CampaignHistory, ServiceJournal
 from .protocol import (
     PROTOCOL_VERSION,
     capability_from_wire,
@@ -46,13 +54,16 @@ from .remote_store import (
     RemoteStore,
     SharedWorkspace,
 )
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy, retry_call
 from .server import CampaignService, ServiceClient, serve
 from .worker import HttpBrokerTransport, LocalBrokerTransport, Worker
 
 __all__ = [
+    "DEFAULT_RETRY_POLICY",
     "PROTOCOL_VERSION",
     "Broker",
     "BrokerScheduler",
+    "CampaignHistory",
     "CampaignService",
     "HttpBrokerTransport",
     "Lease",
@@ -61,9 +72,13 @@ __all__ = [
     "MeasureJob",
     "RemoteRunCache",
     "RemoteStore",
+    "RetryPolicy",
     "ServiceClient",
+    "ServiceJournal",
     "SharedWorkspace",
     "Worker",
+    "measure_job_key",
+    "retry_call",
     "capability_from_wire",
     "capability_to_wire",
     "envelope",

@@ -46,12 +46,24 @@ it — and publishes completed results back, so two campaigns sharing
 configurations execute each profiled run once between them.  Within a
 job, design indices sharing a fingerprint lease only their first
 occurrence; the result is broadcast to the duplicates on arrival.
+
+Crash safety: given a :class:`~repro.service.journal.ServiceJournal`,
+every job checkpoints its merge progress under a **content fingerprint**
+of the measure task + configuration fingerprints.  A broker restarted on
+the same state directory that receives the same job re-adopts the merged
+prefix from the runs store (the checkpoint tells it which store hits
+were this job's own completions) and re-leases only the unfinished tail.
+Workers that fail leases repeatedly are **quarantined** — their claims
+return no work until the operator restarts them — and a draining broker
+stops granting leases so in-flight work can land before shutdown.
 """
 
 from __future__ import annotations
 
 import bisect
+import hashlib
 import itertools
+import json
 import threading
 import time
 from collections import OrderedDict
@@ -94,8 +106,26 @@ DEFAULT_MAX_ATTEMPTS = 3
 DEFAULT_TARGET_LEASE_SECONDS = 2.0
 #: Bound on how many times one lease's tail may be ceded to idle workers.
 DEFAULT_MAX_SPLITS = 2
+#: Consecutive explicit lease failures before a worker is quarantined.
+DEFAULT_QUARANTINE_AFTER = 3
 #: Bound on the per-lease telemetry log.
 _TELEMETRY_LOG_LIMIT = 256
+
+
+def measure_job_key(task_wire: Mapping, fingerprints: Sequence[str]) -> str:
+    """Content fingerprint of one measure job, stable across restarts.
+
+    A pure function of the wire-encoded measure task and the job's
+    per-configuration fingerprints — the same submitted stage hashes to
+    the same key in every broker incarnation, which is what lets a
+    restarted broker find its predecessor's checkpoint.
+    """
+    canonical = json.dumps(
+        {"task": task_wire, "fingerprints": list(fingerprints)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 @dataclass
@@ -139,6 +169,11 @@ class MeasureJob:
     results: "list[ConfigRunResult | None]"
     cached: int = 0
     executed: int = 0
+    #: Of ``cached``, how many were a prior broker incarnation's own
+    #: completions for this very job (per its journal checkpoint).
+    recovered: int = 0
+    #: Journal checkpoint key (content fingerprint of the job), if any.
+    journal_key: "str | None" = None
     error: "Exception | None" = None
     done: threading.Event = field(default_factory=threading.Event)
     #: Pending design indices, pooled per exec_config/entry group in
@@ -174,6 +209,12 @@ class _WorkerState:
     rate: "float | None" = None
     leases_completed: int = 0
     lanes_completed: int = 0
+    #: Explicit lease failures this worker reported, lifetime.
+    failures: int = 0
+    #: Explicit failures since the last successful completion.
+    consecutive_failures: int = 0
+    #: Quarantined workers claim no work until operator intervention.
+    quarantined: bool = False
 
     @property
     def best_rate(self) -> "float | None":
@@ -198,6 +239,8 @@ class Broker:
         target_lease_seconds: float = DEFAULT_TARGET_LEASE_SECONDS,
         straggler_grace: "float | None" = None,
         max_splits: int = DEFAULT_MAX_SPLITS,
+        journal=None,
+        quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
     ) -> None:
         if lease_ttl <= 0:
             raise ValueError(f"lease_ttl must be > 0, got {lease_ttl}")
@@ -222,6 +265,9 @@ class Broker:
             else min(self.lease_ttl / 2.0, 2.0 * self.target_lease_seconds)
         )
         self.max_splits = max(0, int(max_splits))
+        self.journal = journal
+        self.quarantine_after = max(1, int(quarantine_after))
+        self._draining = False
         self._lock = threading.Lock()
         self._jobs: dict[str, MeasureJob] = {}
         self._active: dict[str, Lease] = {}
@@ -300,6 +346,9 @@ class Broker:
         task_wire = measure_task_to_wire(
             workload, plan, noise, contention, repetitions, seed, engine
         )
+        journal_key, recovered = self._job_checkpoint(
+            task_wire, fingerprints, results
+        )
         with self._lock:
             job_id = f"J{next(self._ids)}"
             job = MeasureJob(
@@ -312,6 +361,8 @@ class Broker:
                 task_wire=task_wire,
                 results=results,
                 cached=sum(1 for r in results if r is not None),
+                recovered=recovered,
+                journal_key=journal_key,
                 batch_capable=batch_capable,
                 duplicates=duplicates,
             )
@@ -323,7 +374,59 @@ class Broker:
                     job.group_of[index] = position
             if job.remaining == 0:
                 job.done.set()
+        self._checkpoint_job(job)
         return job_id
+
+    def _job_checkpoint(
+        self,
+        task_wire: Mapping,
+        fingerprints: Sequence[str],
+        results: Sequence,
+    ) -> "tuple[str | None, int]":
+        """Locate a prior incarnation's checkpoint for this content.
+
+        Returns ``(journal key, recovered lanes)``: the count of store
+        hits that the checkpoint records as *this job's own* pre-crash
+        completions, as opposed to hits inherited from other campaigns.
+        """
+        if self.journal is None:
+            return None, 0
+        journal_key = measure_job_key(task_wire, fingerprints)
+        checkpoint = self.journal.job_checkpoint(journal_key)
+        if not checkpoint or checkpoint.get("done"):
+            return journal_key, 0
+        merged = {
+            int(i) for i in checkpoint.get("merged", []) if str(i).isdigit()
+        }
+        recovered = sum(
+            1
+            for index, result in enumerate(results)
+            if result is not None and index in merged
+        )
+        return journal_key, recovered
+
+    def _checkpoint_job(self, job: MeasureJob) -> None:
+        """Persist one job's merge progress (or its tombstone)."""
+        if self.journal is None or job.journal_key is None:
+            return
+        if job.done.is_set() and job.error is None:
+            self.journal.clear_job(job.journal_key)
+            return
+        with self._lock:
+            merged = [
+                index
+                for index, result in enumerate(job.results)
+                if result is not None
+            ]
+            state = {
+                "job": job.job_id,
+                "total": len(job.results),
+                "merged": merged,
+                "executed": job.executed,
+                "cached": job.cached,
+                "recovered": job.recovered,
+            }
+        self.journal.checkpoint_job(job.journal_key, state)
 
     def _store_hits(
         self, fingerprints: Sequence[str]
@@ -394,6 +497,10 @@ class Broker:
             state = self._worker_state_locked(
                 worker, supports_batch, lanes_per_sec
             )
+            if self._draining or state.quarantined:
+                # A draining broker grants nothing new; a quarantined
+                # worker gets no work until the operator restarts it.
+                return None
             for job in self._jobs.values():
                 if job.done.is_set():
                     continue
@@ -565,6 +672,7 @@ class Broker:
             self._record_completion_locked(lease)
         for fingerprint, result in to_publish:
             self._store_put(fingerprint, result)
+        self._checkpoint_job(job)
 
     def _record_completion_locked(self, lease: Lease) -> None:
         elapsed = (
@@ -574,7 +682,10 @@ class Broker:
         )
         self._log_lease_locked(lease, "completed", elapsed)
         state = self._workers.get(lease.worker or "")
-        if state is None or elapsed is None:
+        if state is None:
+            return
+        state.consecutive_failures = 0
+        if elapsed is None:
             return
         lanes = len(lease.indices)
         sample = lanes / max(elapsed, 1e-9)
@@ -587,7 +698,16 @@ class Broker:
         state.lanes_completed += lanes
 
     def fail(self, lease_id: str, reason: str = "") -> None:
-        """Re-pool a lease a worker reported as failed."""
+        """Re-pool a lease a worker reported as failed.
+
+        Explicit failures also count against the reporting worker:
+        ``quarantine_after`` consecutive failures (with no completion in
+        between) quarantine it — its claims return no work — so one
+        wedged or mis-deployed worker cannot burn a job's whole
+        per-configuration attempt budget.  (TTL reaps do not count: a
+        reaped worker is presumed dead, and a fresh claim under its name
+        is the restarted process, not the wedged one.)
+        """
         with self._lock:
             lease = self._active.pop(str(lease_id), None)
             if lease is not None:
@@ -597,6 +717,12 @@ class Broker:
                     else None
                 )
                 self._log_lease_locked(lease, "failed", elapsed)
+                state = self._workers.get(lease.worker or "")
+                if state is not None:
+                    state.failures += 1
+                    state.consecutive_failures += 1
+                    if state.consecutive_failures >= self.quarantine_after:
+                        state.quarantined = True
                 self._requeue_locked(lease, reason or "reported failed")
 
     # -- fault handling ----------------------------------------------------
@@ -697,6 +823,10 @@ class Broker:
                     ),
                     "leases_completed": state.leases_completed,
                     "lanes_completed": state.lanes_completed,
+                    # New fields go at the END: `repro status` renders
+                    # records in insertion order.
+                    "failures": state.failures,
+                    "quarantined": state.quarantined,
                 }
                 for _, state in sorted(self._workers.items())
             ]
@@ -741,6 +871,15 @@ class Broker:
                 raise ServiceError(f"unknown measure job '{job_id}'")
             return RunStats(executed=job.executed, cached=job.cached)
 
+    def job_recovery(self, job_id: str) -> int:
+        """Lanes of *job_id* recovered from a prior incarnation's
+        checkpoint (a subset of its ``cached`` count)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise ServiceError(f"unknown measure job '{job_id}'")
+            return job.recovered
+
     def queue_depth(self) -> int:
         """Pending (unleased) configurations, after reaping expired
         leases — the fleet's backlog in units of work, not leases
@@ -752,6 +891,34 @@ class Broker:
                 for job in self._jobs.values()
                 if not job.done.is_set()
             )
+
+    # -- graceful shutdown -------------------------------------------------
+
+    def drain(
+        self, timeout: "float | None" = None, poll: float = 0.05
+    ) -> bool:
+        """Stop granting leases; wait for in-flight leases to land.
+
+        Returns True when the broker drained clean (no active leases
+        left), False when *timeout* elapsed with leases still out.
+        Active leases may still complete normally while draining — only
+        new claims are refused — so a SIGTERM'd server loses no work
+        already in workers' hands.
+        """
+        with self._lock:
+            self._draining = True
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        while True:
+            with self._lock:
+                self._reap_locked()
+                if not self._active:
+                    return True
+            if deadline is not None and time.monotonic() > deadline:
+                with self._lock:
+                    return not self._active
+            time.sleep(poll)
 
 
 @dataclass

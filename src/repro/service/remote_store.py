@@ -6,8 +6,9 @@ the per-configuration :class:`~repro.measure.io.RunCache` — into one
 namespaced key/value store with three faces:
 
 * :class:`LocalStore` — the on-disk backend (one JSON file per entry,
-  atomic temp-file + rename writes, corrupt entries read as misses), the
-  state behind a campaign server;
+  atomic temp-file + rename writes; corrupt entries are counted, logged
+  once, and quarantined to ``<store>/corrupt/`` instead of being re-read
+  as misses forever), the state behind a campaign server;
 * :class:`RemoteStore` — the same ``get``/``put``/``has`` surface over
   the campaign server's HTTP endpoints, for clients and workers;
 * :class:`SharedWorkspace` / :class:`RemoteRunCache` — adapters giving a
@@ -25,22 +26,28 @@ twice and the last writer winning with identical bytes.
 
 from __future__ import annotations
 
+import itertools
 import json
+import logging
 import os
 import pathlib
 import re
 import tempfile
+import threading
 import urllib.error
 import urllib.request
 from typing import Mapping
 
-from ..errors import ServiceError
+from ..errors import ServiceError, TransientServiceError
 from ..measure.experiment import ConfigRunResult
 from ..measure.io import (
     config_run_result_from_dict,
     config_run_result_to_dict,
 )
 from .protocol import envelope, open_envelope
+from .retry import RetryPolicy, retry_call
+
+logger = logging.getLogger(__name__)
 
 #: Store namespace holding per-stage campaign artifacts.
 STAGE_NAMESPACE = "stage"
@@ -64,11 +71,27 @@ def _check_name(kind: str, name: str) -> str:
 
 
 class LocalStore:
-    """Namespaced, content-addressed JSON store on the local disk."""
+    """Namespaced, content-addressed JSON store on the local disk.
+
+    Corrupt entries (torn by a crash older than the atomic-write path,
+    bit-rotted, or hand-edited) are **quarantined**: the first read that
+    fails to decode or validate moves the file to ``<store>/corrupt/``,
+    logs the key once, and counts it — so the entry reads as a plain
+    miss from then on and is recomputed instead of being re-read (and
+    re-failed) forever.  :meth:`corrupt_stats` surfaces the counters
+    (the campaign server exposes them at ``/api/v1/telemetry``).
+    """
+
+    #: Directory name (under the store root) holding quarantined files.
+    CORRUPT_DIR = "corrupt"
 
     def __init__(self, root: "str | pathlib.Path") -> None:
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._quarantine_ids = itertools.count(1)
+        #: ``namespace/key`` names quarantined so far, in event order.
+        self._corrupt_keys: list[str] = []
 
     def _path(self, namespace: str, key: str) -> pathlib.Path:
         return (
@@ -85,11 +108,14 @@ class LocalStore:
         return [self.has(namespace, key) for key in keys]
 
     def get(self, namespace: str, key: str) -> object | None:
-        """The stored payload, or None on a miss or a corrupt entry."""
+        """The stored payload; None on a miss or a quarantined entry."""
         path = self._path(namespace, key)
         try:
             entry = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
         except (OSError, ValueError):
+            self._quarantine(namespace, key, path)
             return None
         if (
             not isinstance(entry, dict)
@@ -97,8 +123,43 @@ class LocalStore:
             or entry.get("key") != key
             or "payload" not in entry
         ):
+            self._quarantine(namespace, key, path)
             return None
         return entry["payload"]
+
+    def _quarantine(
+        self, namespace: str, key: str, path: pathlib.Path
+    ) -> None:
+        """Move a corrupt entry aside; count and log it exactly once."""
+        folder = self.root / self.CORRUPT_DIR
+        folder.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            destination = (
+                folder
+                / f"{namespace}-{key}-{next(self._quarantine_ids)}.quarantined"
+            )
+            try:
+                os.replace(path, destination)
+            except OSError:
+                # Lost a race with a concurrent quarantine (or the file
+                # vanished); whoever moved it already counted it.
+                return
+            self._corrupt_keys.append(f"{namespace}/{key}")
+        logger.warning(
+            "quarantined corrupt store entry %s/%s -> %s "
+            "(it will be recomputed, not re-read)",
+            namespace,
+            key,
+            destination,
+        )
+
+    def corrupt_stats(self) -> dict:
+        """Quarantine counters, in deterministic field order."""
+        with self._lock:
+            return {
+                "corrupt_entries": len(self._corrupt_keys),
+                "quarantined_keys": list(self._corrupt_keys),
+            }
 
     def put(self, namespace: str, key: str, payload: object) -> None:
         """Store *payload* atomically under (*namespace*, *key*)."""
@@ -147,8 +208,11 @@ def http_json(
 ) -> tuple[int, object]:
     """One JSON request/response cycle with typed failure.
 
-    Bare socket and decode errors become :class:`ServiceError` naming the
-    endpoint — the CLI boundary never leaks a raw ``URLError``.
+    Bare socket and decode errors become
+    :class:`~repro.errors.TransientServiceError` naming the endpoint —
+    the CLI boundary never leaks a raw ``URLError``, and the shared
+    retry policy knows these are worth retrying (a dropped connection
+    and a garbled response body are the same network-level event).
     Responses with HTTP error codes are returned (status, body) rather
     than raised, so callers can map 404 to a cache miss.
     """
@@ -169,7 +233,7 @@ def http_json(
         status = exc.code
     except (urllib.error.URLError, OSError) as exc:
         reason = getattr(exc, "reason", exc)
-        raise ServiceError(
+        raise TransientServiceError(
             f"cannot reach the campaign service at {url}: {reason} — "
             "is `repro serve` running and the URL correct?"
         ) from exc
@@ -178,14 +242,18 @@ def http_json(
     try:
         return status, json.loads(body)
     except ValueError as exc:
-        raise ServiceError(
-            f"non-JSON response from {url} (HTTP {status}): "
-            f"{body[:120]!r}"
+        raise TransientServiceError(
+            f"non-JSON (possibly truncated or garbled) response from "
+            f"{url} (HTTP {status}): {body[:120]!r}"
         ) from exc
 
 
 def raise_for_error(status: int, body: object, url: str) -> None:
-    """Map an HTTP error response to the typed service hierarchy."""
+    """Map an HTTP error response to the typed service hierarchy.
+
+    5xx responses raise :class:`~repro.errors.TransientServiceError`
+    (the server may simply be restarting); 4xx responses are permanent.
+    """
     if status < 400:
         return
     detail = ""
@@ -196,10 +264,13 @@ def raise_for_error(status: int, body: object, url: str) -> None:
             error_body = None
         if isinstance(error_body, Mapping):
             detail = str(error_body.get("error", ""))
-    raise ServiceError(
+    message = (
         f"campaign service at {url} rejected the request "
         f"(HTTP {status}){': ' + detail if detail else ''}"
     )
+    if status >= 500:
+        raise TransientServiceError(message)
+    raise ServiceError(message)
 
 
 class RemoteStore:
@@ -208,11 +279,26 @@ class RemoteStore:
     The drop-in remote twin of :class:`LocalStore`: same namespaces, same
     payloads, same miss semantics — an entry another client put a moment
     ago is immediately visible here.
+
+    Every call runs under the shared service retry policy, keyed on the
+    content-addressed store key it touches: store reads are naturally
+    idempotent, and a retried ``put`` re-lands byte-identical content
+    (the store is content-addressed), so transient network failures
+    cost a deterministic backoff, never correctness.
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retry: "RetryPolicy | None" = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy.from_env()
+
+    def _retry(self, fn, key: str):
+        return retry_call(fn, key=key, policy=self.retry)
 
     def _url(self, namespace: str, key: str) -> str:
         return (
@@ -223,7 +309,10 @@ class RemoteStore:
 
     def has(self, namespace: str, key: str) -> bool:
         url = self._url(namespace, key)
-        status, _ = http_json("HEAD", url, timeout=self.timeout)
+        status, _ = self._retry(
+            lambda: http_json("HEAD", url, timeout=self.timeout),
+            key=f"store.has:{namespace}/{key}",
+        )
         return status == 200
 
     def has_many(self, namespace: str, keys) -> list[bool]:
@@ -240,13 +329,20 @@ class RemoteStore:
             f"{self.base_url}/api/v1/store/"
             f"{_check_name('namespace', namespace)}/has-many"
         )
-        status, body = http_json(
-            "POST",
-            url,
-            envelope("store.has_many", {"keys": keys}),
-            timeout=self.timeout,
+
+        def call():
+            status, body = http_json(
+                "POST",
+                url,
+                envelope("store.has_many", {"keys": keys}),
+                timeout=self.timeout,
+            )
+            raise_for_error(status, body, url)
+            return status, body
+
+        status, body = self._retry(
+            call, key=f"store.has_many:{namespace}/{keys[0]}+{len(keys)}"
         )
-        raise_for_error(status, body, url)
         entry = open_envelope(body, "store.presence")
         present = entry.get("present") if isinstance(entry, Mapping) else None
         if not isinstance(present, list) or len(present) != len(keys):
@@ -255,24 +351,30 @@ class RemoteStore:
 
     def get(self, namespace: str, key: str) -> object | None:
         url = self._url(namespace, key)
-        status, body = http_json("GET", url, timeout=self.timeout)
-        if status == 404:
-            return None
-        raise_for_error(status, body, url)
-        entry = open_envelope(body, "store.entry")
-        if not isinstance(entry, Mapping) or "payload" not in entry:
-            raise ServiceError(f"malformed store entry from {url}")
-        return entry["payload"]
+
+        def call():
+            status, body = http_json("GET", url, timeout=self.timeout)
+            if status == 404:
+                return None
+            raise_for_error(status, body, url)
+            entry = open_envelope(body, "store.entry")
+            if not isinstance(entry, Mapping) or "payload" not in entry:
+                raise ServiceError(f"malformed store entry from {url}")
+            return entry["payload"]
+
+        return self._retry(call, key=f"store.get:{namespace}/{key}")
 
     def put(self, namespace: str, key: str, payload: object) -> None:
         url = self._url(namespace, key)
-        status, body = http_json(
-            "PUT",
-            url,
-            envelope("store.put", {"payload": payload}),
-            timeout=self.timeout,
-        )
-        raise_for_error(status, body, url)
+        body_wire = envelope("store.put", {"payload": payload})
+
+        def call():
+            status, body = http_json(
+                "PUT", url, body_wire, timeout=self.timeout
+            )
+            raise_for_error(status, body, url)
+
+        self._retry(call, key=f"store.put:{namespace}/{key}")
 
 
 # ----------------------------------------------------------------------

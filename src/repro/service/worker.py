@@ -36,6 +36,16 @@ misbehave deterministically —
   ``REPRO_SERVICE_SLOW_SECONDS`` (default 1.0) before executing each
   lease (exercises straggler re-leasing; results stay correct, only
   late).
+
+Failure classification: the run loop splits errors the way the retry
+layer does.  **Transient** transport failures (broker restarting,
+dropped responses) put the worker into a reconnect loop — it keeps
+polling with backoff until ``reconnect_timeout`` elapses, so a fleet
+rides out a server restart instead of dying with it.  **Fatal** errors
+(protocol version skew, malformed lease payloads, unknown engines) will
+recur on every lease; the worker fails the lease it holds, prints one
+diagnostic line, and exits instead of hot-looping through its jobs'
+attempt budgets.
 """
 
 from __future__ import annotations
@@ -45,7 +55,13 @@ import time
 from dataclasses import dataclass
 from typing import Mapping
 
-from ..errors import ServiceError
+from ..errors import (
+    ProtocolVersionMismatch,
+    RegistryError,
+    RetryExhausted,
+    ServiceError,
+    TransientServiceError,
+)
 from ..measure.batched import run_batch_configurations
 from ..measure.experiment import config_key, run_configuration
 from ..measure.io import config_run_result_to_dict
@@ -107,21 +123,37 @@ class LocalBrokerTransport:
 
 
 class HttpBrokerTransport:
-    """The same three calls over a campaign server's lease endpoints."""
+    """The same three calls over a campaign server's lease endpoints.
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    Calls retry transient failures under the shared service policy.
+    The lease surface is safe to retry: a re-sent completion or failure
+    for a lease the server already resolved is a server-side no-op, and
+    a claim whose response was dropped only costs a lease TTL.
+    """
+
+    def __init__(
+        self, base_url: str, timeout: float = 30.0, retry=None
+    ) -> None:
+        from .retry import RetryPolicy
+
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy.from_env()
 
     def _post(self, path: str, msg_type: str, body: Mapping, reply: str):
         from .remote_store import http_json, raise_for_error
+        from .retry import retry_call
 
         url = f"{self.base_url}{path}"
-        status, payload = http_json(
-            "POST", url, envelope(msg_type, body), timeout=self.timeout
-        )
-        raise_for_error(status, payload, url)
-        return open_envelope(payload, reply)
+
+        def call():
+            status, payload = http_json(
+                "POST", url, envelope(msg_type, body), timeout=self.timeout
+            )
+            raise_for_error(status, payload, url)
+            return open_envelope(payload, reply)
+
+        return retry_call(call, key=f"broker:{path}", policy=self.retry)
 
     def claim(
         self, worker: str, capability: "Mapping | None" = None
@@ -161,6 +193,12 @@ class WorkerStats:
     failed: int = 0
     configurations: int = 0
     crashed: bool = False
+    #: Transport outages survived (claim/report retried until the
+    #: broker came back).
+    reconnects: int = 0
+    #: One-line diagnostic when the loop exited on a permanent error
+    #: (version skew, malformed leases) instead of running dry.
+    fatal_error: "str | None" = None
 
 
 class Worker:
@@ -186,6 +224,7 @@ class Worker:
         idle_timeout: "float | None" = None,
         fault: "str | None" = None,
         batch: bool = True,
+        reconnect_timeout: "float | None" = None,
     ) -> None:
         self.transport = transport
         self.worker_id = str(worker_id)
@@ -194,6 +233,9 @@ class Worker:
         self.stop_when_idle = stop_when_idle
         self.idle_timeout = idle_timeout
         self.batch = bool(batch)
+        #: Seconds to keep re-polling through a broker outage before
+        #: giving up; None reconnects forever (until stopped).
+        self.reconnect_timeout = reconnect_timeout
         if fault is None:
             fault = os.environ.get(FAULT_ENV)
         self.fault = _parse_fault(fault)
@@ -220,13 +262,36 @@ class Worker:
         """Claim-execute-report until stopped; returns loop statistics."""
         stats = WorkerStats()
         idle_since: "float | None" = None
+        down_since: "float | None" = None
         while not (stop_event is not None and stop_event.is_set()):
             if (
                 self.max_leases is not None
                 and stats.completed >= self.max_leases
             ):
                 break
-            lease = self.transport.claim(self.worker_id, self.capability())
+            try:
+                lease = self.transport.claim(
+                    self.worker_id, self.capability()
+                )
+            except (TransientServiceError, RetryExhausted) as exc:
+                # Broker unreachable: reconnect instead of dying, so a
+                # fleet rides out a server restart.
+                now = time.monotonic()
+                down_since = down_since if down_since is not None else now
+                if (
+                    self.reconnect_timeout is not None
+                    and now - down_since > self.reconnect_timeout
+                ):
+                    stats.fatal_error = (
+                        f"broker unreachable for "
+                        f"{self.reconnect_timeout:g}s: {exc}"
+                    )
+                    break
+                stats.reconnects += 1
+                time.sleep(max(self.poll_interval, 0.1))
+                continue
+            if down_since is not None:
+                down_since = None
             if lease is None:
                 if self.stop_when_idle:
                     break
@@ -257,21 +322,52 @@ class Worker:
             started = time.monotonic()
             try:
                 results = self.execute(lease)
+            except (
+                ProtocolVersionMismatch,
+                RegistryError,
+                ServiceError,
+            ) as exc:
+                # Fatal: version skew, an unknown engine, or a lease
+                # that does not decode will recur on every claim — fail
+                # this lease once and exit with a diagnostic instead of
+                # hot-looping through the job's attempt budget.
+                stats.failed += 1
+                self._report_fail(lease_id, repr(exc), stats)
+                stats.fatal_error = f"{type(exc).__name__}: {exc}"
+                break
             except Exception as exc:  # noqa: BLE001 — report, keep serving
                 stats.failed += 1
-                self.transport.fail(lease_id, repr(exc))
+                self._report_fail(lease_id, repr(exc), stats)
                 continue
             self._observe_rate(len(results), time.monotonic() - started)
             if self.fault == ("fail", stats.claimed):
                 stats.failed += 1
-                self.transport.fail(
-                    lease_id, f"injected fault ({FAULT_ENV})"
+                self._report_fail(
+                    lease_id, f"injected fault ({FAULT_ENV})", stats
                 )
                 continue
-            self.transport.complete(lease_id, results)
+            try:
+                self.transport.complete(lease_id, results)
+            except (TransientServiceError, RetryExhausted):
+                # Completion lost in a broker restart: the lease TTL
+                # (old broker) or job re-submission (new broker) will
+                # re-pool this work; results are bit-identical either
+                # way, so dropping the report is safe.
+                stats.reconnects += 1
+                continue
             stats.completed += 1
             stats.configurations += len(results)
         return stats
+
+    def _report_fail(
+        self, lease_id: str, reason: str, stats: WorkerStats
+    ) -> None:
+        """Report a lease failure; a broker outage mid-report is not
+        itself fatal (the TTL reaper recovers the lease)."""
+        try:
+            self.transport.fail(lease_id, reason)
+        except (TransientServiceError, RetryExhausted):
+            stats.reconnects += 1
 
     def _observe_rate(self, lanes: int, elapsed: float) -> None:
         if lanes <= 0 or elapsed <= 0:
@@ -294,10 +390,21 @@ class Worker:
 
     def execute(self, lease: Mapping) -> list[dict]:
         """Run one lease; returns wire-ready ``{"index", "result"}`` rows."""
-        task = measure_task_from_wire(lease["task"])
-        workload = self._workload_for(str(lease["job"]), task.workload_spec)
-        configs = configs_from_wire(lease["configs"])
-        indices = [int(i) for i in lease["indices"]]
+        try:
+            task = measure_task_from_wire(lease["task"])
+            configs = configs_from_wire(lease["configs"])
+            indices = [int(i) for i in lease["indices"]]
+            job_id = str(lease["job"])
+        except (ProtocolVersionMismatch, ServiceError):
+            raise
+        except Exception as exc:
+            # A lease that does not even decode is a protocol/version
+            # problem, not a transient one — type it so the run loop
+            # exits instead of hot-looping.
+            raise ServiceError(
+                f"lease {lease.get('lease')!r} does not decode: {exc!r}"
+            ) from exc
+        workload = self._workload_for(job_id, task.workload_spec)
         if len(configs) != len(indices):
             raise ServiceError(
                 f"malformed lease {lease.get('lease')!r}: "

@@ -350,6 +350,8 @@ class TestTelemetry:
                 "lanes_per_sec",
                 "leases_completed",
                 "lanes_completed",
+                "failures",
+                "quarantined",
             ]
 
     def test_completed_lease_timing_and_rates_recorded(self):

@@ -271,7 +271,9 @@ class TestTelemetryEndpoint:
         finally:
             stop.set()
         telemetry = client.telemetry()
-        assert set(telemetry) == {"leases", "workers"}
+        assert set(telemetry) == {"leases", "workers", "store", "service"}
+        assert telemetry["store"]["corrupt_entries"] == 0
+        assert telemetry["service"]["restarts"] == 0
         assert telemetry["leases"], "completed leases must be logged"
         assert all(
             r["status"] in ("completed", "failed", "reaped")
